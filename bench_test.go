@@ -1,0 +1,262 @@
+package fenceplace
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches measure the cost of regenerating the result (static
+// pipeline and/or simulation); the printed experiment values themselves
+// come from cmd/paperbench and are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/delayset"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/exp"
+	"fenceplace/internal/fence"
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+	"fenceplace/internal/progs"
+	"fenceplace/internal/tso"
+)
+
+// BenchmarkTable2 classifies the nine synchronization kernels by acquire
+// signature (the paper's Table II study).
+func BenchmarkTable2(b *testing.B) {
+	kernels := progs.ByKind(progs.SyncKernel)
+	built := make([]*Program, len(kernels))
+	for i, m := range kernels {
+		built[i] = m.Default()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range built {
+			al := alias.Analyze(p)
+			esc := escape.Analyze(p, al)
+			sig := acquire.Classify(p, al, esc)
+			if sig.HasPureAddress() {
+				b.Fatal("pure-address acquire appeared")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the worked example: exact Shasha-Snir cycle
+// enumeration, pruning, and fence minimization (5 fences -> 2 fences).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, isAcq := delayset.Fig2()
+		delays := delayset.Delays(p)
+		if n := len(delayset.MinimizeFences(delays)); n != 5 {
+			b.Fatalf("full placement: %d fences, want 5", n)
+		}
+		pruned := delayset.Prune(delays, isAcq)
+		if n := len(delayset.MinimizeFences(pruned)); n != 2 {
+			b.Fatalf("pruned placement: %d fences, want 2", n)
+		}
+	}
+}
+
+// evalPrograms builds the Figure 7-10 corpus once.
+func evalPrograms(b *testing.B) []*Program {
+	b.Helper()
+	set := progs.EvalSet()
+	out := make([]*Program, len(set))
+	for i, m := range set {
+		out[i] = m.Default()
+	}
+	return out
+}
+
+// BenchmarkFigure7 runs escape analysis + both acquire detectors over the
+// whole evaluation corpus (the static study behind Figure 7).
+func BenchmarkFigure7(b *testing.B) {
+	ps := evalPrograms(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			al := alias.Analyze(p)
+			esc := escape.Analyze(p, al)
+			ctl := acquire.Detect(p, al, esc, acquire.Control)
+			ac := acquire.Detect(p, al, esc, acquire.AddressControl)
+			if ctl.Count() > ac.Count() {
+				b.Fatal("monotonicity violated")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 measures Pensieve ordering generation plus DRF pruning
+// under both variants (Figure 8's data).
+func BenchmarkFigure8(b *testing.B) {
+	ps := evalPrograms(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			al := alias.Analyze(p)
+			esc := escape.Analyze(p, al)
+			set := orders.Generate(p, esc)
+			ctl := set.Prune(acquire.Detect(p, al, esc, acquire.Control))
+			ac := set.Prune(acquire.Detect(p, al, esc, acquire.AddressControl))
+			if ctl.Total() > ac.Total() || ac.Total() > set.Total() {
+				b.Fatal("pruning monotonicity violated")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 measures the full static pipeline through locally
+// optimized fence minimization for all three strategies (Figure 9's data).
+func BenchmarkFigure9(b *testing.B) {
+	ps := evalPrograms(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			pen := Analyze(p, PensieveOnly)
+			ac := Analyze(p, AddressControl)
+			ctl := Analyze(p, Control)
+			if ctl.FullFences > ac.FullFences || ac.FullFences > pen.FullFences {
+				b.Fatal("fence monotonicity violated")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 runs the instrumented corpus on the TSO simulator under
+// every strategy — the dynamic experiment behind Figure 10.
+func BenchmarkFigure10(b *testing.B) {
+	rows := exp.AnalyzeAll(progs.Params{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			for _, v := range exp.Variants {
+				d := r.RunDynamic(v, 1)
+				if d.Failed {
+					b.Fatalf("%s/%s: %s", r.Meta.Name, v, d.Detail)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkManualTable exercises the §5.3 expert builds under TSO.
+func BenchmarkManualTable(b *testing.B) {
+	var built []*Program
+	for _, m := range progs.EvalSet() {
+		pp := m.Defaults
+		pp.Manual = true
+		built = append(built, m.Build(pp))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range built {
+			out := tso.Run(p, tso.Config{Mode: tso.TSO, Sched: tso.MinTime, Policy: tso.DrainRandom, Seed: 1})
+			if out.Failed() {
+				b.Fatalf("%s: %v", p.Name, out.Failures)
+			}
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationEntryFencePolicy isolates the paper's §4.4 modification:
+// placing a function-entry fence only when the function contains sync
+// reads, versus Pensieve's every-function-with-escaping-reads policy. The
+// benchmark reports the static fence delta as it validates it.
+func BenchmarkAblationEntryFencePolicy(b *testing.B) {
+	ps := evalPrograms(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saved := 0
+		for _, p := range ps {
+			al := alias.Analyze(p)
+			esc := escape.Analyze(p, al)
+			acq := acquire.Detect(p, al, esc, acquire.Control)
+			pruned := orders.Generate(p, esc).Prune(acq)
+			modified := fence.Minimize(pruned, fence.Options{EntryFence: acq.FnHasSync})
+			naive := fence.Minimize(pruned, fence.Options{
+				EntryFence: func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 },
+			})
+			saved += naive.FullFences() - modified.FullFences()
+		}
+		if saved <= 0 {
+			b.Fatal("the §4.4 entry-fence rule saved nothing")
+		}
+	}
+}
+
+// BenchmarkAblationDrainPolicy compares the simulator's drain policies on a
+// fenced corpus program: the policy changes dynamic behavior (forwarding
+// hit rates) but never correctness.
+func BenchmarkAblationDrainPolicy(b *testing.B) {
+	m := progs.ByName("peterson")
+	pp := m.Defaults
+	pp.Manual = true
+	p := m.Build(pp)
+	for _, pol := range []struct {
+		name string
+		p    tso.Policy
+	}{{"lazy", tso.DrainLazy}, {"random", tso.DrainRandom}, {"eager", tso.DrainEager}} {
+		b.Run(pol.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := tso.Run(p, tso.Config{Mode: tso.TSO, Sched: tso.Random, Policy: pol.p, Seed: 7})
+				if out.Failed() {
+					b.Fatalf("%v", out.Failures)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedulers compares the deterministic parallel-time
+// scheduler against random scheduling on the simulator.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	p := progs.ByName("radix").Default()
+	for _, sc := range []struct {
+		name string
+		s    tso.Sched
+	}{{"mintime", tso.MinTime}, {"random", tso.Random}} {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := tso.Run(p, tso.Config{Mode: tso.TSO, Sched: sc.s, Policy: tso.DrainRandom, Seed: 3})
+				if out.Failed() {
+					b.Fatalf("%v", out.Failures)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExhaustiveExplore measures the exhaustive litmus
+// explorer (SB under TSO: every interleaving and drain schedule).
+func BenchmarkAblationExhaustiveExplore(b *testing.B) {
+	pb := ir.NewProgram("sb")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)
+	o0 := pb.Global("o0", 1)
+	o1 := pb.Global("o1", 1)
+	t0 := pb.Func("t0", 0)
+	t0.Store(x, t0.Const(1))
+	t0.Store(o0, t0.Load(y))
+	t0.RetVoid()
+	t1 := pb.Func("t1", 0)
+	t1.Store(y, t1.Const(1))
+	t1.Store(o1, t1.Load(x))
+	t1.RetVoid()
+	prog := pb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tso.Explore(prog, []string{"t0", "t1"}, tso.ExploreConfig{Mode: tso.TSO})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) == 0 {
+			b.Fatal("no outcomes")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command litmus explores the classic memory-model litmus tests on the
+// built-in SC and TSO machines and reports which outcomes are reachable.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fenceplace/internal/litmus"
+	"fenceplace/internal/stats"
+	"fenceplace/internal/tso"
+)
+
+func main() {
+	t := stats.NewTable("test", "outcome", "SC", "TSO", "verdict")
+	bad := false
+	for _, lt := range litmus.All() {
+		sc, err := lt.Observed(tso.SC)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ts, err := lt.Observed(tso.TSO)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		verdict := "ok"
+		if sc != lt.AllowedSC || ts != lt.AllowedTSO {
+			verdict = "UNEXPECTED"
+			bad = true
+		}
+		t.Add(lt.Name, lt.Desc, obs(sc), obs(ts), verdict)
+	}
+	fmt.Print(t.String())
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func obs(b bool) string {
+	if b {
+		return "observed"
+	}
+	return "forbidden"
+}

@@ -1,0 +1,71 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation over the corpus:
+//
+//	paperbench              # everything
+//	paperbench -table2      # Table II only
+//	paperbench -fig7 -fig9  # selected figures
+//	paperbench -seeds 3     # average Figure 10 over 3 simulator seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fenceplace/internal/exp"
+	"fenceplace/internal/progs"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "Table II: acquire signatures in sync kernels")
+		fig2   = flag.Bool("fig2", false, "worked example (§2.4): delay set and fence counts")
+		fig7   = flag.Bool("fig7", false, "Figure 7: acquires as % of escaping reads")
+		fig8   = flag.Bool("fig8", false, "Figure 8: ordering counts by type")
+		fig9   = flag.Bool("fig9", false, "Figure 9: full fences remaining on x86-TSO")
+		fig10  = flag.Bool("fig10", false, "Figure 10: simulated execution time vs manual")
+		manual = flag.Bool("manual", false, "manual fence counts (§5.3)")
+		seeds  = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
+	)
+	flag.Parse()
+
+	all := !*table2 && !*fig2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*manual
+
+	if all || *table2 {
+		fmt.Println(exp.Table2())
+	}
+	if all || *fig2 {
+		fmt.Println(exp.Fig2())
+	}
+	needRows := all || *fig7 || *fig8 || *fig9 || *fig10 || *manual
+	if !needRows {
+		return
+	}
+	rows := exp.AnalyzeAll(progs.Params{})
+	for _, r := range rows {
+		if err := r.VerifyPlans(); err != nil {
+			fmt.Fprintf(os.Stderr, "fence plan verification failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if all || *fig7 {
+		fmt.Println(exp.Fig7(rows))
+	}
+	if all || *fig8 {
+		fmt.Println(exp.Fig8(rows))
+	}
+	if all || *fig9 {
+		fmt.Println(exp.Fig9(rows))
+	}
+	if all || *manual {
+		fmt.Println(exp.ManualTable(rows))
+	}
+	if all || *fig10 {
+		report, err := exp.Fig10(rows, *seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 10 failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+	}
+}

@@ -1,0 +1,166 @@
+// Package fenceplace is the public API of this module: automatic fence
+// placement for legacy data-race-free programs via synchronization-read
+// detection, after McPherson, Nagarajan, Sarkar and Cintra (PPoPP'15).
+//
+// The pipeline takes a program in the module's compiler IR (built with the
+// ir builder or parsed from the textual form), runs alias and thread-escape
+// analysis, detects acquire reads with one of the paper's two signatures
+// algorithms, generates Pensieve-style orderings, prunes them with the DRF
+// rules, and places a minimal set of x86-TSO fences:
+//
+//	prog := fenceplace.MustParse(src)         // or build with ir.NewProgram
+//	res := fenceplace.Analyze(prog, fenceplace.Control)
+//	fmt.Println(res.Summary())
+//	out := fenceplace.RunTSO(res.Instrumented, 0)
+//
+// Strategies: PensieveOnly reproduces the baseline (no acquire knowledge),
+// Control is the paper's fast variant (Listing 1), AddressControl the
+// conservative one (Listing 3).
+package fenceplace
+
+import (
+	"fmt"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/fence"
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+	"fenceplace/internal/tso"
+)
+
+// Program is the analyzed unit: globals plus functions in the module's IR.
+type Program = ir.Program
+
+// Instr is a single IR instruction; analyses report results per Instr.
+type Instr = ir.Instr
+
+// Parse reads a program in the textual IR syntax (see internal/ir.Parse).
+func Parse(src string) (*Program, error) { return ir.Parse(src) }
+
+// MustParse is Parse that panics on error, for embedded sources.
+func MustParse(src string) *Program { return ir.MustParse(src) }
+
+// Format renders a program back to its textual syntax.
+func Format(p *Program) string { return ir.Format(p) }
+
+// Strategy selects the fence-placement variant.
+type Strategy int
+
+const (
+	// PensieveOnly places fences for every generated ordering (the
+	// baseline the paper compares against).
+	PensieveOnly Strategy = iota
+	// Control prunes orderings using control acquires only (Listing 1).
+	Control
+	// AddressControl prunes using control and address acquires
+	// (Listing 3) — the conservative variant.
+	AddressControl
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case PensieveOnly:
+		return "Pensieve"
+	case Control:
+		return "Control"
+	case AddressControl:
+		return "Address+Control"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Result carries everything the pipeline produced for one program.
+type Result struct {
+	Strategy Strategy
+	Prog     *Program // the analyzed (uninstrumented) program
+
+	EscapingReads int      // candidate acquires (Figure 7 denominator)
+	Acquires      []*Instr // detected synchronization reads (program order)
+
+	OrderingsGenerated int // Pensieve ordering count before pruning
+	OrderingsKept      int // after DRF pruning (equal for PensieveOnly)
+
+	FullFences       int // full fences placed, including entry fences
+	CompilerBarriers int
+
+	// Instrumented is a clone of Prog with the fences inserted; the
+	// original is never mutated.
+	Instrumented *Program
+
+	plan *fence.Plan
+	kept *orders.Set
+}
+
+// Analyze runs the complete static pipeline under the given strategy.
+func Analyze(p *Program, s Strategy) *Result {
+	p.Finalize()
+	al := alias.Analyze(p)
+	esc := escape.Analyze(p, al)
+	full := orders.Generate(p, esc)
+
+	res := &Result{
+		Strategy:           s,
+		Prog:               p,
+		EscapingReads:      esc.CountReads(),
+		OrderingsGenerated: full.Total(),
+	}
+	kept := full
+	entry := func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 }
+	if s != PensieveOnly {
+		variant := acquire.Control
+		if s == AddressControl {
+			variant = acquire.AddressControl
+		}
+		acq := acquire.Detect(p, al, esc, variant)
+		for _, f := range p.Funcs {
+			res.Acquires = append(res.Acquires, acq.SyncReads(f)...)
+		}
+		kept = full.Prune(acq)
+		entry = acq.FnHasSync
+	}
+	res.OrderingsKept = kept.Total()
+	res.kept = kept
+	res.plan = fence.Minimize(kept, fence.Options{EntryFence: entry})
+	res.FullFences = res.plan.FullFences()
+	res.CompilerBarriers = res.plan.CompilerBarriers()
+	res.Instrumented, _ = res.plan.Apply()
+	return res
+}
+
+// Verify re-checks that the placed fences cover every kept ordering along
+// all control-flow paths. Analyze always produces covering plans; Verify
+// exists for audit trails and tests.
+func (r *Result) Verify() error {
+	inst, imap := r.plan.Apply()
+	return fence.Verify(r.kept, fence.Options{}, inst, imap)
+}
+
+// Summary renders a one-paragraph report of the analysis.
+func (r *Result) Summary() string {
+	pruned := r.OrderingsGenerated - r.OrderingsKept
+	return fmt.Sprintf(
+		"%s: %d escaping reads, %d acquires detected; %d orderings generated, %d pruned, %d enforced; %d full fences + %d compiler barriers placed",
+		r.Strategy, r.EscapingReads, len(r.Acquires),
+		r.OrderingsGenerated, pruned, r.OrderingsKept,
+		r.FullFences, r.CompilerBarriers)
+}
+
+// RunOutcome is the result of executing a program on the built-in machine.
+type RunOutcome = tso.Outcome
+
+// RunTSO executes the program on the x86-TSO simulator (random scheduling
+// seeded by seed, eventual store drain). Assertion failures, deadlock and
+// runtime errors are reported in the outcome.
+func RunTSO(p *Program, seed int64) *RunOutcome {
+	return tso.Run(p, tso.Config{
+		Mode: tso.TSO, Sched: tso.Random, Policy: tso.DrainRandom, Seed: seed,
+	})
+}
+
+// RunSC executes the program under sequential consistency — the reference
+// semantics the paper's guarantee is stated against.
+func RunSC(p *Program, seed int64) *RunOutcome {
+	return tso.Run(p, tso.Config{Mode: tso.SC, Sched: tso.Random, Seed: seed})
+}

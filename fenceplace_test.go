@@ -1,0 +1,159 @@
+package fenceplace
+
+import (
+	"strings"
+	"testing"
+
+	"fenceplace/internal/progs"
+)
+
+const mpSrc = `
+program mp
+global data 1
+global data2 1
+global flag 1
+global sink 1
+main main
+
+func producer params=0 regs=1 {
+entry:
+  r0 = const 1
+  store data, r0
+  store data2, r0
+  store flag, r0
+  ret
+}
+
+func consumer params=0 regs=6 {
+entry:
+  r0 = const 1
+  jmp spin
+spin:
+  r1 = load flag
+  r2 = ne r1, r0
+  br r2, spin, done
+done:
+  r3 = load data
+  r4 = load data2
+  r5 = add r3, r4
+  store sink, r5
+  assert r3, "data visible"
+  ret
+}
+
+func main params=0 regs=2 {
+entry:
+  r0 = spawn producer()
+  r1 = spawn consumer()
+  join r0
+  join r1
+  ret
+}
+`
+
+func TestAnalyzeMP(t *testing.T) {
+	p := MustParse(mpSrc)
+	ctl := Analyze(p, Control)
+	if len(ctl.Acquires) != 1 {
+		t.Fatalf("Control found %d acquires, want 1 (the flag spin)", len(ctl.Acquires))
+	}
+	if ctl.OrderingsKept >= ctl.OrderingsGenerated {
+		t.Fatal("pruning removed nothing on MP")
+	}
+	if err := ctl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	pen := Analyze(p, PensieveOnly)
+	if pen.OrderingsKept != pen.OrderingsGenerated {
+		t.Fatal("Pensieve must keep everything")
+	}
+	if len(pen.Acquires) != 0 {
+		t.Fatal("Pensieve detects no acquires")
+	}
+	if ctl.FullFences > pen.FullFences {
+		t.Fatalf("Control placed more fences (%d) than Pensieve (%d)", ctl.FullFences, pen.FullFences)
+	}
+	ac := Analyze(p, AddressControl)
+	if ac.OrderingsKept < ctl.OrderingsKept {
+		t.Fatal("A+C kept fewer orderings than Control")
+	}
+	if !strings.Contains(ctl.Summary(), "acquires detected") {
+		t.Errorf("summary unhelpful: %s", ctl.Summary())
+	}
+}
+
+func TestAnalyzeDoesNotMutateInput(t *testing.T) {
+	p := MustParse(mpSrc)
+	before := p.NumInstrs()
+	res := Analyze(p, Control)
+	if p.NumInstrs() != before {
+		t.Fatal("Analyze mutated the input program")
+	}
+	if res.Instrumented == p {
+		t.Fatal("Instrumented aliases the input")
+	}
+	if res.Instrumented.NumInstrs() <= before {
+		t.Fatal("no fences inserted")
+	}
+}
+
+func TestRoundTripThroughFormat(t *testing.T) {
+	p := MustParse(mpSrc)
+	res := Analyze(p, Control)
+	text := Format(res.Instrumented)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("instrumented program does not reparse: %v", err)
+	}
+	if back.NumInstrs() != res.Instrumented.NumInstrs() {
+		t.Fatal("reparse changed instruction count")
+	}
+}
+
+func TestRunSCAndTSO(t *testing.T) {
+	p := MustParse(mpSrc)
+	res := Analyze(p, Control)
+	for seed := int64(0); seed < 4; seed++ {
+		if out := RunSC(p, seed); out.Failed() {
+			t.Fatalf("SC run failed: %v", out.Failures)
+		}
+		if out := RunTSO(res.Instrumented, seed); out.Failed() {
+			t.Fatalf("instrumented TSO run failed: %v", out.Failures)
+		}
+	}
+}
+
+func TestFacadeAgainstCorpus(t *testing.T) {
+	// The public API must agree with the experiment pipeline on a few
+	// representative corpus programs.
+	for _, name := range []string{"msqueue", "peterson", "radix", "matrix"} {
+		m := progs.ByName(name)
+		if m == nil {
+			t.Fatalf("missing corpus program %s", name)
+		}
+		p := m.Default()
+		pen := Analyze(p, PensieveOnly)
+		ctl := Analyze(p, Control)
+		ac := Analyze(p, AddressControl)
+		if !(ctl.FullFences <= ac.FullFences && ac.FullFences <= pen.FullFences) {
+			t.Errorf("%s: fence monotonicity broken: %d/%d/%d",
+				name, ctl.FullFences, ac.FullFences, pen.FullFences)
+		}
+		for _, r := range []*Result{pen, ctl, ac} {
+			if err := r.Verify(); err != nil {
+				t.Errorf("%s/%s: %v", name, r.Strategy, err)
+			}
+			out := RunTSO(r.Instrumented, 1)
+			if out.Failed() {
+				t.Errorf("%s/%s failed under TSO: %v", name, r.Strategy, out.Failures)
+			}
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if PensieveOnly.String() != "Pensieve" || Control.String() != "Control" ||
+		AddressControl.String() != "Address+Control" {
+		t.Error("strategy names drifted; CLI output depends on them")
+	}
+}

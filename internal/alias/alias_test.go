@@ -1,0 +1,311 @@
+package alias
+
+import (
+	"testing"
+
+	"fenceplace/internal/ir"
+)
+
+func find(f *ir.Fn, k ir.Kind, n int) *ir.Instr {
+	var found *ir.Instr
+	count := 0
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == k {
+			if count == n {
+				found = in
+			}
+			count++
+		}
+	})
+	return found
+}
+
+func TestAddrOfAndLoadPtr(t *testing.T) {
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)
+	b := pb.Func("f", 0)
+	px := b.AddrOf(x)  // px -> {x}
+	v := b.LoadPtr(px) // reads x
+	py := b.AddrOf(y)  // py -> {y}
+	b.StorePtr(py, v)  // writes y
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+
+	pts := a.PointsTo(f, px)
+	if len(pts) != 1 || pts[0].G != x {
+		t.Fatalf("pts(px) = %v, want {x}", pts)
+	}
+	lp := find(f, ir.LoadPtr, 0)
+	locs, ok := a.AccessLocs(lp)
+	if !ok || len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("AccessLocs(loadptr) = %v,%v", locs, ok)
+	}
+	sp := find(f, ir.StorePtr, 0)
+	if a.MayAlias(lp, sp) {
+		t.Error("load of x and store of y must not alias")
+	}
+	_ = py
+}
+
+func TestPointerThroughMemory(t *testing.T) {
+	// q = &x stored into global slot; later loaded and dereferenced: the
+	// dereference must alias x.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	slot := pb.Global("slot", 1)
+	b := pb.Func("f", 0)
+	px := b.AddrOf(x)
+	b.Store(slot, px)
+	q := b.Load(slot)
+	w := b.LoadPtr(q)
+	_ = w
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	lp := find(f, ir.LoadPtr, 0)
+	locs, ok := a.AccessLocs(lp)
+	if !ok {
+		t.Fatal("deref of loaded pointer should be known")
+	}
+	if len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("deref locs = %v, want {x}", locs)
+	}
+}
+
+func TestGepPropagates(t *testing.T) {
+	pb := ir.NewProgram("p")
+	arr := pb.Global("arr", 16)
+	b := pb.Func("f", 1)
+	base := b.AddrOf(arr)
+	ptr := b.Gep(base, b.Param(0))
+	v := b.LoadPtr(ptr)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	lp := find(f, ir.LoadPtr, 0)
+	locs, ok := a.AccessLocs(lp)
+	if !ok || len(locs) != 1 || locs[0].G != arr {
+		t.Fatalf("gep deref locs = %v,%v want {arr}", locs, ok)
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	// main passes &x to helper, which dereferences it. The helper's access
+	// must resolve to x. The helper also returns the pointer; the caller's
+	// deref of the returned value must also resolve to x.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+
+	h := pb.Func("helper", 1)
+	hv := h.LoadPtr(h.Param(0))
+	_ = hv
+	h.Ret(h.Param(0))
+
+	m := pb.Func("main", 0)
+	px := m.AddrOf(x)
+	r := m.Call("helper", px)
+	v2 := m.LoadPtr(r)
+	_ = v2
+	m.RetVoid()
+	pb.SetMain("main")
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+
+	hl := find(p.Fn("helper"), ir.LoadPtr, 0)
+	locs, ok := a.AccessLocs(hl)
+	if !ok || len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("helper deref = %v,%v, want {x}", locs, ok)
+	}
+	ml := find(p.Fn("main"), ir.LoadPtr, 0)
+	locs, ok = a.AccessLocs(ml)
+	if !ok || len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("main deref of returned ptr = %v,%v, want {x}", locs, ok)
+	}
+}
+
+func TestSpawnBindsParams(t *testing.T) {
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	w := pb.Func("worker", 1)
+	w.StorePtr(w.Param(0), w.Const(1))
+	w.RetVoid()
+	m := pb.Func("main", 0)
+	tid := m.Spawn("worker", m.AddrOf(x))
+	m.Join(tid)
+	m.RetVoid()
+	pb.SetMain("main")
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	sp := find(p.Fn("worker"), ir.StorePtr, 0)
+	locs, ok := a.AccessLocs(sp)
+	if !ok || len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("worker store = %v,%v, want {x}", locs, ok)
+	}
+}
+
+func TestMallocSitesDistinct(t *testing.T) {
+	pb := ir.NewProgram("p")
+	b := pb.Func("f", 0)
+	m1 := b.Malloc(4)
+	m2 := b.Malloc(4)
+	b.StorePtr(m1, b.Const(1))
+	b.StorePtr(m2, b.Const(2))
+	v := b.LoadPtr(m1)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	s1 := find(f, ir.StorePtr, 0)
+	s2 := find(f, ir.StorePtr, 1)
+	ld := find(f, ir.LoadPtr, 0)
+	if a.MayAlias(s1, s2) {
+		t.Error("two malloc sites must not alias")
+	}
+	if !a.MayAlias(ld, s1) {
+		t.Error("load of m1 must alias store to m1")
+	}
+	if a.MayAlias(ld, s2) {
+		t.Error("load of m1 must not alias store to m2")
+	}
+}
+
+func TestUnknownPointerAliasesEverything(t *testing.T) {
+	// A pointer from thin air (constant arithmetic) has an empty points-to
+	// set; dereferencing it must be treated as touching anything.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	b := pb.Func("f", 0)
+	mystery := b.Const(1234)
+	v := b.LoadPtr(mystery)
+	_ = v
+	b.Store(x, b.Const(1))
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	lp := find(f, ir.LoadPtr, 0)
+	st := find(f, ir.Store, 0)
+	if _, ok := a.AccessLocs(lp); ok {
+		t.Fatal("mystery pointer should be unknown")
+	}
+	if !a.MayAlias(lp, st) {
+		t.Error("unknown access must alias everything")
+	}
+}
+
+func TestPotentialWriters(t *testing.T) {
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)
+	b := pb.Func("f", 0)
+	b.Store(x, b.Const(1)) // writer of x
+	b.Store(y, b.Const(2)) // not a writer of x
+	v := b.Load(x)
+	px := b.AddrOf(x)
+	b.StorePtr(px, b.Const(3)) // may-writer of x through pointer
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	ld := find(f, ir.Load, 0)
+	ws := a.PotentialWriters(f, ld)
+	if len(ws) != 2 {
+		t.Fatalf("got %d potential writers, want 2 (direct store + ptr store)", len(ws))
+	}
+	for _, w := range ws {
+		if w.Kind == ir.Store && w.G == y {
+			t.Error("store to y wrongly counted as writer of x")
+		}
+	}
+	// Non-read instructions yield nothing.
+	if got := a.PotentialWriters(f, find(f, ir.Store, 0)); got != nil {
+		t.Fatalf("PotentialWriters(store) = %v, want nil", got)
+	}
+}
+
+func TestCASStoresPointer(t *testing.T) {
+	// CAS installing &x into a slot: a later deref of the slot's content
+	// must see x.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	slot := pb.Global("slot", 1)
+	b := pb.Func("f", 0)
+	px := b.AddrOf(x)
+	pslot := b.AddrOf(slot)
+	zero := b.Const(0)
+	ok := b.CAS(pslot, zero, px)
+	_ = ok
+	q := b.Load(slot)
+	v := b.LoadPtr(q)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	f := p.Fn("f")
+	lp := find(f, ir.LoadPtr, 0)
+	locs, okAcc := a.AccessLocs(lp)
+	if !okAcc || len(locs) != 1 || locs[0].G != x {
+		t.Fatalf("deref after CAS install = %v, want {x}", locs)
+	}
+}
+
+func TestLocStrings(t *testing.T) {
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	b := pb.Func("f", 0)
+	al := b.Alloca(2)
+	ml := b.Malloc(2)
+	_, _ = al, ml
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if got := a.GlobalLocOf(x).String(); got != "global:x" {
+		t.Errorf("global loc string = %q", got)
+	}
+	for _, l := range a.Locs() {
+		if l.String() == "loc:?" {
+			t.Errorf("loc %d has no string", l.ID())
+		}
+	}
+	if len(a.Locs()) != 3 {
+		t.Fatalf("got %d locs, want 3", len(a.Locs()))
+	}
+}

@@ -1,0 +1,273 @@
+// Package delayset implements exact Shasha–Snir delay-set analysis for
+// small multi-threaded programs given as straight-line access sequences
+// with may-alias location sets. It exists to regenerate the paper's worked
+// example (§2.4, Figure 2): enumerate the critical cycles, extract the
+// program-order delay edges, optionally prune them with the paper's DRF
+// rules, and place a minimal set of full fences per thread.
+//
+// A critical cycle here has the canonical Shasha–Snir shape: it visits
+// k ≥ 2 distinct threads; in each visited thread it uses an entry access e
+// and an exit access x with e ≤po x (possibly the same access); and
+// consecutive threads are linked by a conflict edge — the exit of one
+// thread conflicts with the entry of the next (same location, at least one
+// write, honoring may-alias sets). The delay set is the union of the po
+// edges (e, x) with e ≠ x over all critical cycles. This enumeration is a
+// sound superset of the minimal cycles a hand analysis lists; extra cycles
+// only add delays that fence minimization absorbs (the worked-example
+// fence counts match the paper exactly).
+package delayset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Access is one shared-memory access of a straight-line thread.
+type Access struct {
+	ID     string   // display label, e.g. "a1"
+	Thread int      // owning thread index
+	Index  int      // program-order position within the thread
+	Write  bool     // write or read
+	Locs   []string // may-touch locations; empty means statically unknown
+}
+
+func (a Access) String() string { return a.ID }
+
+// Program is a set of straight-line threads.
+type Program struct {
+	threads [][]Access
+}
+
+// NewProgram creates an empty program with n threads.
+func NewProgram(n int) *Program {
+	return &Program{threads: make([][]Access, n)}
+}
+
+// Add appends an access to thread t and returns it.
+func (p *Program) Add(t int, id string, write bool, locs ...string) Access {
+	a := Access{ID: id, Thread: t, Index: len(p.threads[t]), Write: write, Locs: locs}
+	p.threads[t] = append(p.threads[t], a)
+	return a
+}
+
+// Threads returns the number of threads.
+func (p *Program) Threads() int { return len(p.threads) }
+
+// Accesses returns thread t's accesses in program order.
+func (p *Program) Accesses(t int) []Access { return p.threads[t] }
+
+// conflict reports whether u and v may conflict: may touch a common
+// location with at least one write. An empty location set is "unknown" and
+// matches anything.
+func conflict(u, v Access) bool {
+	if !u.Write && !v.Write {
+		return false
+	}
+	if len(u.Locs) == 0 || len(v.Locs) == 0 {
+		return true
+	}
+	for _, lu := range u.Locs {
+		for _, lv := range v.Locs {
+			if lu == lv {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Cycle is one critical cycle: per visited thread, its entry and exit
+// accesses in visit order.
+type Cycle struct {
+	Entries []Access
+	Exits   []Access
+}
+
+func (c Cycle) String() string {
+	var parts []string
+	for i := range c.Entries {
+		if c.Entries[i].Index == c.Exits[i].Index {
+			parts = append(parts, c.Entries[i].ID)
+		} else {
+			parts = append(parts, c.Entries[i].ID+"→"+c.Exits[i].ID)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Delay is a program-order edge that must be enforced to avoid some
+// critical cycle.
+type Delay struct {
+	From, To Access
+}
+
+func (d Delay) String() string { return d.From.ID + "→" + d.To.ID }
+
+// CriticalCycles enumerates all critical cycles of the program (canonical:
+// the visit order starts at the smallest participating thread, and for
+// cycles over 3+ threads the reflection with the larger second thread is
+// dropped).
+func CriticalCycles(p *Program) []Cycle {
+	var cycles []Cycle
+	n := p.Threads()
+	threadIDs := make([]int, n)
+	for i := range threadIDs {
+		threadIDs[i] = i
+	}
+	// Enumerate ordered sequences of 2..n distinct threads starting with
+	// the minimum participating thread.
+	var seq []int
+	used := make([]bool, n)
+	var rec func(first int)
+	rec = func(first int) {
+		if len(seq) >= 2 {
+			if len(seq) == 2 || seq[1] < seq[len(seq)-1] { // kill reflections
+				cycles = append(cycles, cyclesForThreadSeq(p, seq)...)
+			}
+		}
+		for _, t := range threadIDs[first+1:] {
+			if used[t] || t <= seq[0] {
+				continue
+			}
+			used[t] = true
+			seq = append(seq, t)
+			rec(first)
+			seq = seq[:len(seq)-1]
+			used[t] = false
+		}
+	}
+	for start := 0; start < n; start++ {
+		seq = []int{start}
+		used[start] = true
+		rec(start)
+		used[start] = false
+	}
+	return cycles
+}
+
+// cyclesForThreadSeq enumerates the (entry, exit) choices per thread of the
+// sequence such that exit_i conflicts with entry_{i+1} cyclically.
+func cyclesForThreadSeq(p *Program, seq []int) []Cycle {
+	var out []Cycle
+	k := len(seq)
+	entries := make([]Access, k)
+	exits := make([]Access, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			// Close the cycle: last exit conflicts with first entry.
+			if conflict(exits[k-1], entries[0]) {
+				out = append(out, Cycle{
+					Entries: append([]Access(nil), entries...),
+					Exits:   append([]Access(nil), exits...),
+				})
+			}
+			return
+		}
+		accs := p.threads[seq[i]]
+		for ei := range accs {
+			for xi := ei; xi < len(accs); xi++ {
+				e, x := accs[ei], accs[xi]
+				if i > 0 && !conflict(exits[i-1], e) {
+					continue
+				}
+				entries[i], exits[i] = e, x
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Delays returns the deduplicated delay set: every po edge appearing in
+// some critical cycle, sorted by (thread, from, to).
+func Delays(p *Program) []Delay {
+	seen := map[[3]int]Delay{}
+	for _, c := range CriticalCycles(p) {
+		for i := range c.Entries {
+			e, x := c.Entries[i], c.Exits[i]
+			if e.Index != x.Index {
+				seen[[3]int{e.Thread, e.Index, x.Index}] = Delay{From: e, To: x}
+			}
+		}
+	}
+	out := make([]Delay, 0, len(seen))
+	for _, d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.Thread != b.From.Thread {
+			return a.From.Thread < b.From.Thread
+		}
+		if a.From.Index != b.From.Index {
+			return a.From.Index < b.From.Index
+		}
+		return a.To.Index < b.To.Index
+	})
+	return out
+}
+
+// Prune applies the paper's DRF rules (§2.3) to a delay set: keep
+// racq→anything, keep anything→w (all writes are releases), keep w→racq,
+// prune the rest. isAcquire classifies reads.
+func Prune(delays []Delay, isAcquire func(Access) bool) []Delay {
+	var out []Delay
+	for _, d := range delays {
+		switch {
+		case !d.From.Write && isAcquire(d.From):
+			out = append(out, d)
+		case d.To.Write:
+			out = append(out, d)
+		case d.From.Write && isAcquire(d.To):
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FencePos places a full fence in thread Thread at gap Gap: between the
+// accesses with Index Gap-1 and Gap.
+type FencePos struct {
+	Thread int
+	Gap    int
+}
+
+func (f FencePos) String() string { return fmt.Sprintf("T%d@%d", f.Thread, f.Gap) }
+
+// MinimizeFences places the minimum number of full fences enforcing every
+// delay (greedy interval stabbing per thread, optimal for straight-line
+// threads — the setting of the paper's Figure 2).
+func MinimizeFences(delays []Delay) []FencePos {
+	type iv struct{ lo, hi int }
+	byThread := map[int][]iv{}
+	for _, d := range delays {
+		byThread[d.From.Thread] = append(byThread[d.From.Thread], iv{d.From.Index + 1, d.To.Index})
+	}
+	var out []FencePos
+	threads := make([]int, 0, len(byThread))
+	for t := range byThread {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		ivs := byThread[t]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].hi != ivs[j].hi {
+				return ivs[i].hi < ivs[j].hi
+			}
+			return ivs[i].lo < ivs[j].lo
+		})
+		last := -1
+		for _, v := range ivs {
+			if last >= v.lo && last <= v.hi {
+				continue
+			}
+			last = v.hi
+			out = append(out, FencePos{Thread: t, Gap: last})
+		}
+	}
+	return out
+}

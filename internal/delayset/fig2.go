@@ -1,0 +1,29 @@
+package delayset
+
+// Fig2 constructs the paper's Figure 2 worked example:
+//
+//	P1                P2
+//	a1: x = ...       b1: *p1 = ...
+//	a2: ... = y       b2: ... = *p2
+//	a3: flag = 1      b3: while (flag != 1);   // the acquire read
+//	                  b4: y = ...
+//	                  b5: ... = x
+//
+// with the paper's alias assumption: *p1 and *p2 may alias x and y but not
+// flag. It returns the program and the acquire classifier (exactly b3, the
+// busy-wait read the detection algorithms flag).
+func Fig2() (*Program, func(Access) bool) {
+	p := NewProgram(2)
+	p.Add(0, "a1", true, "x")
+	p.Add(0, "a2", false, "y")
+	p.Add(0, "a3", true, "flag")
+
+	p.Add(1, "b1", true, "x", "y")
+	p.Add(1, "b2", false, "x", "y")
+	b3 := p.Add(1, "b3", false, "flag")
+	p.Add(1, "b4", true, "y")
+	p.Add(1, "b5", false, "x")
+
+	isAcquire := func(a Access) bool { return a.Thread == b3.Thread && a.Index == b3.Index }
+	return p, isAcquire
+}

@@ -1,0 +1,138 @@
+// Package escape implements the conservative thread-escape analysis that
+// Pensieve-style fence placement starts from (paper §2.1): every access that
+// cannot be proven local to the creating thread is "potentially escaping"
+// and participates in ordering generation.
+//
+// A location escapes when another thread could reach it:
+//   - every Global escapes by definition;
+//   - anything (transitively) stored inside an escaping location escapes;
+//   - anything passed to Spawn escapes (it is shared with the new thread),
+//     again transitively through its contents.
+//
+// An access escapes when its may-touch set (from the alias analysis)
+// contains an escaping location, or is statically unknown.
+package escape
+
+import (
+	"fenceplace/internal/alias"
+	"fenceplace/internal/ir"
+)
+
+// Result holds the escape classification for one program.
+type Result struct {
+	prog    *ir.Program
+	aliases *alias.Analysis
+	escLoc  map[*alias.Loc]bool
+	escAcc  map[*ir.Instr]bool
+}
+
+// Analyze computes escaping locations and accesses using a previously
+// solved alias analysis for the same program.
+func Analyze(p *ir.Program, al *alias.Analysis) *Result {
+	r := &Result{
+		prog:    p,
+		aliases: al,
+		escLoc:  make(map[*alias.Loc]bool),
+		escAcc:  make(map[*ir.Instr]bool),
+	}
+	r.solveLocs()
+	r.classifyAccesses()
+	return r
+}
+
+func (r *Result) solveLocs() {
+	var work []*alias.Loc
+	mark := func(l *alias.Loc) {
+		if l != nil && !r.escLoc[l] {
+			r.escLoc[l] = true
+			work = append(work, l)
+		}
+	}
+	// Roots: all globals, and everything a spawned thread receives.
+	for _, l := range r.aliases.Locs() {
+		if l.Kind == alias.GlobalLoc {
+			mark(l)
+		}
+	}
+	for _, f := range r.prog.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Kind != ir.Spawn {
+				return
+			}
+			for _, arg := range in.Args {
+				for _, l := range r.aliases.PointsTo(f, arg) {
+					mark(l)
+				}
+			}
+		})
+	}
+	// Closure: contents of escaping locations escape.
+	for len(work) > 0 {
+		l := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range r.aliases.Contents(l) {
+			mark(c)
+		}
+	}
+}
+
+func (r *Result) classifyAccesses() {
+	for _, f := range r.prog.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if !in.IsAccess() {
+				return
+			}
+			locs, known := r.aliases.AccessLocs(in)
+			if !known {
+				r.escAcc[in] = true // unknown target: assume shared
+				return
+			}
+			for _, l := range locs {
+				if r.escLoc[l] {
+					r.escAcc[in] = true
+					return
+				}
+			}
+		})
+	}
+}
+
+// LocEscapes reports whether the abstract location may be reached by more
+// than one thread.
+func (r *Result) LocEscapes(l *alias.Loc) bool { return r.escLoc[l] }
+
+// AccessEscapes reports whether the memory access may touch escaping state.
+func (r *Result) AccessEscapes(in *ir.Instr) bool { return r.escAcc[in] }
+
+// EscapingAccesses returns fn's escaping accesses in program order.
+func (r *Result) EscapingAccesses(f *ir.Fn) []*ir.Instr {
+	var out []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if r.escAcc[in] {
+			out = append(out, in)
+		}
+	})
+	return out
+}
+
+// EscapingReads returns fn's escaping read-kind accesses in program order.
+// These are the candidate acquires the paper's detection algorithms filter.
+func (r *Result) EscapingReads(f *ir.Fn) []*ir.Instr {
+	var out []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if r.escAcc[in] && in.ReadsMem() {
+			out = append(out, in)
+		}
+	})
+	return out
+}
+
+// CountReads returns the total number of escaping reads in the program —
+// the denominator of the paper's Figure 7.
+func (r *Result) CountReads() int {
+	n := 0
+	for _, f := range r.prog.Funcs {
+		n += len(r.EscapingReads(f))
+	}
+	return n
+}

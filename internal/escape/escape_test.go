@@ -1,0 +1,207 @@
+package escape
+
+import (
+	"testing"
+
+	"fenceplace/internal/alias"
+	"fenceplace/internal/ir"
+)
+
+func analyze(t *testing.T, p *ir.Program) (*alias.Analysis, *Result) {
+	t.Helper()
+	al := alias.Analyze(p)
+	return al, Analyze(p, al)
+}
+
+func TestGlobalsEscape(t *testing.T) {
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	b := pb.Func("f", 0)
+	v := b.Load(x)
+	b.Store(x, v)
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, r := analyze(t, p)
+	if !r.LocEscapes(al.GlobalLocOf(x)) {
+		t.Error("global must escape")
+	}
+	f := p.Fn("f")
+	if got := len(r.EscapingAccesses(f)); got != 2 {
+		t.Fatalf("got %d escaping accesses, want 2", got)
+	}
+	if got := len(r.EscapingReads(f)); got != 1 {
+		t.Fatalf("got %d escaping reads, want 1", got)
+	}
+	if r.CountReads() != 1 {
+		t.Fatalf("CountReads = %d, want 1", r.CountReads())
+	}
+}
+
+func TestLocalAllocaDoesNotEscape(t *testing.T) {
+	pb := ir.NewProgram("p")
+	b := pb.Func("f", 0)
+	buf := b.Alloca(8)
+	b.StorePtr(buf, b.Const(1))
+	v := b.LoadPtr(buf)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	f := p.Fn("f")
+	if got := len(r.EscapingAccesses(f)); got != 0 {
+		t.Fatalf("purely local alloca produced %d escaping accesses", got)
+	}
+}
+
+func TestAllocaEscapesViaGlobal(t *testing.T) {
+	// Publishing the alloca's address through a global makes its accesses
+	// escaping.
+	pb := ir.NewProgram("p")
+	slot := pb.Global("slot", 1)
+	b := pb.Func("f", 0)
+	buf := b.Alloca(8)
+	b.Store(slot, buf)
+	b.StorePtr(buf, b.Const(1)) // now escaping
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	f := p.Fn("f")
+	var sp *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.StorePtr {
+			sp = in
+		}
+	})
+	if !r.AccessEscapes(sp) {
+		t.Error("store through published alloca must escape")
+	}
+}
+
+func TestMallocEscapesViaSpawn(t *testing.T) {
+	pb := ir.NewProgram("p")
+	w := pb.Func("worker", 1)
+	v := w.LoadPtr(w.Param(0))
+	_ = v
+	w.RetVoid()
+	m := pb.Func("main", 0)
+	buf := m.Malloc(4)
+	b2 := m.Malloc(4) // never shared
+	m.StorePtr(buf, m.Const(7))
+	m.StorePtr(b2, m.Const(8))
+	tid := m.Spawn("worker", buf)
+	m.Join(tid)
+	m.RetVoid()
+	pb.SetMain("main")
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	main := p.Fn("main")
+	var stores []*ir.Instr
+	main.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.StorePtr {
+			stores = append(stores, in)
+		}
+	})
+	if len(stores) != 2 {
+		t.Fatalf("want 2 stores, got %d", len(stores))
+	}
+	if !r.AccessEscapes(stores[0]) {
+		t.Error("store to spawned-to buffer must escape")
+	}
+	if r.AccessEscapes(stores[1]) {
+		t.Error("store to private buffer must not escape")
+	}
+	// The worker's own access also escapes.
+	worker := p.Fn("worker")
+	if got := len(r.EscapingReads(worker)); got != 1 {
+		t.Fatalf("worker escaping reads = %d, want 1", got)
+	}
+}
+
+func TestTransitiveEscapeThroughHeap(t *testing.T) {
+	// head (global) -> node1 -> node2: accesses to node2 escape because the
+	// whole chain is reachable from a global.
+	pb := ir.NewProgram("p")
+	head := pb.Global("head", 1)
+	b := pb.Func("f", 0)
+	n1 := b.Malloc(2)
+	n2 := b.Malloc(2)
+	b.StorePtr(n1, n2) // n1.next = n2
+	b.Store(head, n1)  // publish chain
+	b.StorePtr(n2, b.Const(42))
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	f := p.Fn("f")
+	var last *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.StorePtr {
+			last = in
+		}
+	})
+	if !r.AccessEscapes(last) {
+		t.Error("store to transitively-published node must escape")
+	}
+}
+
+func TestUnknownAccessEscapes(t *testing.T) {
+	pb := ir.NewProgram("p")
+	b := pb.Func("f", 0)
+	mystery := b.Const(99)
+	v := b.LoadPtr(mystery)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	f := p.Fn("f")
+	if got := len(r.EscapingReads(f)); got != 1 {
+		t.Fatalf("unknown-target read must escape; got %d escaping reads", got)
+	}
+}
+
+func TestEscapeViaCallChain(t *testing.T) {
+	// f allocates, passes to g, g publishes into a global: the alloca
+	// escapes even though f itself never touches a global.
+	pb := ir.NewProgram("p")
+	slot := pb.Global("slot", 1)
+	g := pb.Func("g", 1)
+	g.Store(slot, g.Param(0))
+	g.RetVoid()
+	f := pb.Func("f", 0)
+	buf := f.Alloca(4)
+	f.CallVoid("g", buf)
+	f.StorePtr(buf, f.Const(5))
+	f.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := analyze(t, p)
+	fn := p.Fn("f")
+	var sp *ir.Instr
+	fn.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.StorePtr {
+			sp = in
+		}
+	})
+	if !r.AccessEscapes(sp) {
+		t.Error("alloca published by callee must escape")
+	}
+}

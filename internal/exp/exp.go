@@ -1,0 +1,178 @@
+// Package exp is the experiment harness: it reruns the paper's evaluation
+// (§5) over the corpus of package progs and renders every table and figure
+// as text. One Row per program carries the whole static pipeline (escape →
+// acquire detection per variant → ordering generation → pruning → fence
+// minimization → instrumented clones), and the dynamic experiment executes
+// the instrumented programs under the TSO simulator.
+package exp
+
+import (
+	"fmt"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/fence"
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+	"fenceplace/internal/progs"
+	"fenceplace/internal/tso"
+)
+
+// Variant names a fence-placement strategy in the paper's comparison.
+type Variant int
+
+const (
+	// Manual is the expert baseline: the fences written in the program.
+	Manual Variant = iota
+	// Pensieve is Fang et al.'s approximation with no acquire knowledge.
+	Pensieve
+	// AddressControl prunes with Listing 3's conservative acquire set.
+	AddressControl
+	// Control prunes with Listing 1's acquire set.
+	Control
+	numVariants
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Manual:
+		return "Manual"
+	case Pensieve:
+		return "Pensieve"
+	case AddressControl:
+		return "Address+Control"
+	case Control:
+		return "Control"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists the strategies in the paper's display order.
+var Variants = [...]Variant{Manual, Pensieve, AddressControl, Control}
+
+// Row is the full analysis record for one program.
+type Row struct {
+	Meta *progs.Meta
+	Prog *ir.Program // the unfenced (legacy) build
+
+	EscReads int // potentially-escaping reads: Figure 7's denominator
+
+	Acq map[Variant]*acquire.Result // Control / AddressControl
+	Ord map[Variant]*orders.Set     // Pensieve (unpruned) + pruned variants
+	Pln map[Variant]*fence.Plan
+
+	Inst map[Variant]*ir.Program // instrumented clones (Manual = expert build)
+}
+
+// Analyze runs the complete static pipeline on one corpus program.
+func Analyze(m *progs.Meta, p progs.Params) *Row {
+	prog := m.Build(p)
+	al := alias.Analyze(prog)
+	esc := escape.Analyze(prog, al)
+
+	row := &Row{
+		Meta: m, Prog: prog,
+		EscReads: esc.CountReads(),
+		Acq:      map[Variant]*acquire.Result{},
+		Ord:      map[Variant]*orders.Set{},
+		Pln:      map[Variant]*fence.Plan{},
+		Inst:     map[Variant]*ir.Program{},
+	}
+	row.Acq[Control] = acquire.Detect(prog, al, esc, acquire.Control)
+	row.Acq[AddressControl] = acquire.Detect(prog, al, esc, acquire.AddressControl)
+
+	full := orders.Generate(prog, esc)
+	row.Ord[Pensieve] = full
+	row.Ord[Control] = full.Prune(row.Acq[Control])
+	row.Ord[AddressControl] = full.Prune(row.Acq[AddressControl])
+
+	// Pensieve has no acquire knowledge: every function with an escaping
+	// read gets an entry fence (§4.4). The pruned variants place one only
+	// in functions that contain detected synchronization reads.
+	row.Pln[Pensieve] = fence.Minimize(full, fence.Options{
+		EntryFence: func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 },
+	})
+	for _, v := range []Variant{Control, AddressControl} {
+		acq := row.Acq[v]
+		row.Pln[v] = fence.Minimize(row.Ord[v], fence.Options{
+			EntryFence: acq.FnHasSync,
+		})
+	}
+	for _, v := range []Variant{Pensieve, Control, AddressControl} {
+		inst, _ := row.Pln[v].Apply()
+		row.Inst[v] = inst
+	}
+	pm := p
+	pm.Manual = true
+	row.Inst[Manual] = m.Build(pm)
+	return row
+}
+
+// VerifyPlans checks that every plan covers every ordering of its own set
+// (the static soundness obligation).
+func (r *Row) VerifyPlans() error {
+	for _, v := range []Variant{Pensieve, Control, AddressControl} {
+		inst, imap := r.Pln[v].Apply()
+		if err := fence.Verify(r.Ord[v], fence.Options{}, inst, imap); err != nil {
+			return fmt.Errorf("%s/%s: %w", r.Meta.Name, v, err)
+		}
+	}
+	return nil
+}
+
+// Fences returns the number of full fences the variant places (for Manual:
+// the fences in the expert build).
+func (r *Row) Fences(v Variant) int {
+	if v == Manual {
+		full, _ := r.Inst[Manual].CountFences(false)
+		return full
+	}
+	return r.Pln[v].FullFences()
+}
+
+// Acquires returns the number of detected sync reads for a pruned variant.
+func (r *Row) Acquires(v Variant) int {
+	if a, ok := r.Acq[v]; ok {
+		return a.Count()
+	}
+	return 0
+}
+
+// DynResult is one simulated execution.
+type DynResult struct {
+	Cycles     int64
+	FullFences int64
+	Failed     bool
+	Detail     string
+}
+
+// RunDynamic executes the variant's instrumented program under the TSO
+// simulator with the deterministic parallel-time scheduler and returns the
+// simulated execution time.
+func (r *Row) RunDynamic(v Variant, seed int64) DynResult {
+	out := tso.Run(r.Inst[v], tso.Config{
+		Mode:   tso.TSO,
+		Sched:  tso.MinTime,
+		Policy: tso.DrainRandom,
+		Seed:   seed,
+	})
+	d := DynResult{Cycles: out.MaxCycles, FullFences: out.FullFences, Failed: out.Failed()}
+	if d.Failed {
+		d.Detail = fmt.Sprintf("failures=%v err=%v deadlock=%v", out.Failures, out.Err, out.Deadlock)
+	}
+	return d
+}
+
+// AnalyzeAll analyzes the full evaluation set (Figures 7-10 programs).
+func AnalyzeAll(p progs.Params) []*Row {
+	var rows []*Row
+	for _, m := range progs.EvalSet() {
+		pp := p
+		if pp.Threads == 0 {
+			pp = m.Defaults
+		}
+		rows = append(rows, Analyze(m, pp))
+	}
+	return rows
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"fenceplace/internal/orders"
+	"fenceplace/internal/progs"
+)
+
+var (
+	rowsOnce sync.Once
+	rowsAll  []*Row
+)
+
+// evalRows analyzes the full evaluation set once per test binary.
+func evalRows(t *testing.T) []*Row {
+	t.Helper()
+	rowsOnce.Do(func() {
+		rowsAll = AnalyzeAll(progs.Params{})
+	})
+	return rowsAll
+}
+
+func TestPlansVerifyAcrossCorpus(t *testing.T) {
+	for _, r := range evalRows(t) {
+		if err := r.VerifyPlans(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	// The paper's Figure 7 shape: Control flags far fewer reads than
+	// Address+Control, which flags far fewer than everything.
+	var ctl, ac []float64
+	for _, r := range evalRows(t) {
+		if r.EscReads == 0 {
+			t.Fatalf("%s: no escaping reads", r.Meta.Name)
+		}
+		c := float64(r.Acquires(Control)) / float64(r.EscReads)
+		a := float64(r.Acquires(AddressControl)) / float64(r.EscReads)
+		if c > a+1e-9 {
+			t.Errorf("%s: Control ratio %.2f exceeds A+C ratio %.2f", r.Meta.Name, c, a)
+		}
+		if a > 1 || c > 1 {
+			t.Errorf("%s: acquire ratio above 1", r.Meta.Name)
+		}
+		if c == 0 {
+			t.Errorf("%s: no control acquires at all — every program synchronizes", r.Meta.Name)
+		}
+		ctl = append(ctl, c)
+		ac = append(ac, a)
+	}
+	gc, ga := geomean(ctl), geomean(ac)
+	if !(gc > 0.05 && gc < 0.45) {
+		t.Errorf("Control geomean %.2f outside the paper's ballpark (≈0.18)", gc)
+	}
+	if !(ga > 0.30 && ga < 0.90) {
+		t.Errorf("A+C geomean %.2f outside the paper's ballpark (≈0.60)", ga)
+	}
+	if ga <= gc {
+		t.Errorf("A+C geomean %.2f not above Control geomean %.2f", ga, gc)
+	}
+}
+
+func geomean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func TestFig8Shape(t *testing.T) {
+	rrDominant := 0
+	for _, r := range evalRows(t) {
+		full := r.Ord[Pensieve]
+		ctl := r.Ord[Control]
+		ac := r.Ord[AddressControl]
+		if ctl.Total() > ac.Total() || ac.Total() > full.Total() {
+			t.Errorf("%s: ordering monotonicity violated: %d / %d / %d",
+				r.Meta.Name, ctl.Total(), ac.Total(), full.Total())
+		}
+		// Pruning must not touch →w orderings.
+		if ctl.Count(orders.RW) != full.Count(orders.RW) || ctl.Count(orders.WW) != full.Count(orders.WW) {
+			t.Errorf("%s: pruning modified →w orderings", r.Meta.Name)
+		}
+		if full.Count(orders.RR) > full.Total()/2 {
+			rrDominant++
+		}
+	}
+	// The paper: r→r orderings form the majority in all but two programs.
+	if rrDominant < len(evalRows(t))*2/3 {
+		t.Errorf("r->r dominant in only %d of %d programs", rrDominant, len(evalRows(t)))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	for _, r := range evalRows(t) {
+		p := r.Fences(Pensieve)
+		a := r.Fences(AddressControl)
+		c := r.Fences(Control)
+		if c > a || a > p {
+			t.Errorf("%s: fence monotonicity violated: Control %d, A+C %d, Pensieve %d",
+				r.Meta.Name, c, a, p)
+		}
+		if p == 0 {
+			t.Errorf("%s: Pensieve placed no fences", r.Meta.Name)
+		}
+	}
+}
+
+func TestInstrumentedProgramsCorrectUnderTSO(t *testing.T) {
+	// The central soundness claim: programs instrumented by any variant
+	// keep their assertions under TSO. (Manual is covered in progs tests.)
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, r := range evalRows(t) {
+		for _, v := range []Variant{Pensieve, AddressControl, Control} {
+			d := r.RunDynamic(v, 1)
+			if d.Failed {
+				t.Errorf("%s/%s: %s", r.Meta.Name, v, d.Detail)
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	report, err := Fig10(evalRows(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "geomean") {
+		t.Fatal("missing geomean row")
+	}
+	// Recompute the geomeans directly for the shape assertions.
+	var pens, ac, ctl []float64
+	for _, r := range evalRows(t) {
+		base := float64(r.RunDynamic(Manual, 1).Cycles)
+		pens = append(pens, float64(r.RunDynamic(Pensieve, 1).Cycles)/base)
+		ac = append(ac, float64(r.RunDynamic(AddressControl, 1).Cycles)/base)
+		ctl = append(ctl, float64(r.RunDynamic(Control, 1).Cycles)/base)
+	}
+	gp, ga, gc := geomean(pens), geomean(ac), geomean(ctl)
+	if !(gp >= ga-0.02 && ga >= gc-0.02) {
+		t.Errorf("normalized time ordering broken: Pensieve %.2f, A+C %.2f, Control %.2f", gp, ga, gc)
+	}
+	if gp < 1.0 {
+		t.Errorf("Pensieve (%.2f) should be slower than manual", gp)
+	}
+	if gc >= gp {
+		t.Errorf("Control (%.2f) shows no speedup over Pensieve (%.2f)", gc, gp)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	rows := evalRows(t)
+	if s := Table2(); !strings.Contains(s, "chaselev") || !strings.Contains(s, "matches the paper") {
+		t.Errorf("Table2 incomplete:\n%s", s)
+	}
+	if s := Fig7(rows); !strings.Contains(s, "geomean") {
+		t.Error("Fig7 missing geomean")
+	}
+	if s := Fig8(rows); !strings.Contains(s, "r->r") {
+		t.Error("Fig8 missing type columns")
+	}
+	if s := Fig9(rows); !strings.Contains(s, "Pensieve") {
+		t.Error("Fig9 missing variants")
+	}
+	if s := Fig2(); !strings.Contains(s, "5 fences") || !strings.Contains(s, "2 fences") {
+		t.Errorf("Fig2 worked example does not reproduce 5 -> 2:\n%s", s)
+	}
+	if s := ManualTable(rows); !strings.Contains(s, "volrend") {
+		t.Error("manual table incomplete")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	want := map[Variant]string{
+		Manual: "Manual", Pensieve: "Pensieve",
+		AddressControl: "Address+Control", Control: "Control",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("variant %d renders %q, want %q", v, v.String(), s)
+		}
+	}
+	if len(Variants) != int(numVariants) {
+		t.Error("Variants list out of sync")
+	}
+}

@@ -1,0 +1,300 @@
+// Package fence implements the locally-optimized fence minimization of Fang
+// et al. [2003] as the paper's Section 4.4 uses it, plus the x86-TSO
+// lowering policy (full MFENCE only for w→r orderings; zero-cost compiler
+// barriers for everything else) and the paper's modification of placing a
+// function-entry fence only when the function contains synchronization
+// reads.
+//
+// The core reduction: an ordering u→v is enforced by any fence that lies on
+// every control-flow path from u to v. Anchoring each ordering in its
+// source block — a fence anywhere between u and the end of u's block is on
+// every such path — turns the problem into one minimum-point interval
+// stabbing per basic block, which the classic greedy (sort by right
+// endpoint, stab at the right end of the first uncovered interval) solves
+// optimally per block. This is precisely the "locally optimized" scheme:
+// optimal within a block, conservative across blocks.
+package fence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+)
+
+// Placement is one fence to be inserted at a gap of a block: gap g lies
+// immediately before instruction index g.
+type Placement struct {
+	Block *ir.Block
+	Gap   int
+	Kind  ir.FenceKind
+}
+
+// Options configures minimization.
+type Options struct {
+	// NeedFull decides whether an ordering requires a full hardware fence
+	// (as opposed to a compiler barrier). For x86-TSO use
+	// orders.NeedsFullFenceTSO.
+	NeedFull func(orders.Ordering) bool
+	// EntryFence decides whether fn gets a full fence at its entry, the
+	// mechanism Pensieve uses for interprocedural orderings. The paper's
+	// variants pass "fn contains a sync read"; the Pensieve baseline passes
+	// "fn contains an escaping read".
+	EntryFence func(fn *ir.Fn) bool
+}
+
+// Plan is the result of minimization: the placements per function plus
+// which functions receive entry fences.
+type Plan struct {
+	Prog       *ir.Program
+	Placements []Placement
+	EntryFns   []*ir.Fn
+}
+
+// FullFences counts planned full fences, including entry fences.
+func (p *Plan) FullFences() int {
+	n := len(p.EntryFns)
+	for _, pl := range p.Placements {
+		if pl.Kind == ir.FenceFull {
+			n++
+		}
+	}
+	return n
+}
+
+// CompilerBarriers counts planned compiler-only barriers.
+func (p *Plan) CompilerBarriers() int {
+	n := 0
+	for _, pl := range p.Placements {
+		if pl.Kind == ir.FenceCompiler {
+			n++
+		}
+	}
+	return n
+}
+
+// interval is a stabbing interval over the gaps of one block: some gap in
+// [lo, hi] must hold a fence.
+type interval struct {
+	lo, hi int
+}
+
+// anchor reduces an ordering to its source-block interval. For a same-block
+// forward pair the fence must sit strictly after u and at-or-before v; for
+// everything else (cross-block paths and loop-carried pairs) a fence
+// between u and its block's terminator is on every path from u onward.
+func anchor(o orders.Ordering) (blk *ir.Block, iv interval) {
+	u, v := o.From, o.To
+	ub := u.Block()
+	if v.Block() == ub && u.Pos() < v.Pos() {
+		return ub, interval{u.Pos() + 1, v.Pos()}
+	}
+	return ub, interval{u.Pos() + 1, len(ub.Instrs) - 1}
+}
+
+// Minimize computes a minimal (per the locally-optimized scheme) set of
+// fence placements enforcing every ordering in the set.
+func Minimize(set *orders.Set, opts Options) *Plan {
+	if opts.NeedFull == nil {
+		opts.NeedFull = orders.NeedsFullFenceTSO
+	}
+	plan := &Plan{Prog: set.Prog}
+
+	// Deterministic function order: iterate program order, not map order.
+	for _, f := range set.Prog.Funcs {
+		list, ok := set.ByFn[f]
+		if !ok {
+			continue
+		}
+		fullIVs := make(map[*ir.Block][]interval)
+		softIVs := make(map[*ir.Block][]interval)
+		for _, o := range list {
+			blk, iv := anchor(o)
+			if opts.NeedFull(o) {
+				fullIVs[blk] = append(fullIVs[blk], iv)
+			} else {
+				softIVs[blk] = append(softIVs[blk], iv)
+			}
+		}
+		// Blocks in function order for determinism.
+		for _, blk := range f.Blocks {
+			fullGaps := stab(fullIVs[blk], nil)
+			for _, g := range fullGaps {
+				plan.Placements = append(plan.Placements, Placement{blk, g, ir.FenceFull})
+			}
+			// A full fence also serves as a compiler barrier: intervals
+			// already stabbed by a full gap need nothing further.
+			softGaps := stab(softIVs[blk], fullGaps)
+			for _, g := range softGaps {
+				plan.Placements = append(plan.Placements, Placement{blk, g, ir.FenceCompiler})
+			}
+		}
+	}
+	if opts.EntryFence != nil {
+		for _, f := range set.Prog.Funcs {
+			if opts.EntryFence(f) {
+				plan.EntryFns = append(plan.EntryFns, f)
+			}
+		}
+	}
+	return plan
+}
+
+// stab solves minimum point cover for the intervals, treating the gaps in
+// pre as already-placed points. Returns the chosen gaps in ascending order.
+func stab(ivs []interval, pre []int) []int {
+	if len(ivs) == 0 {
+		return nil
+	}
+	preSet := make(map[int]bool, len(pre))
+	for _, g := range pre {
+		preSet[g] = true
+	}
+	remaining := ivs[:0:0]
+	for _, iv := range ivs {
+		covered := false
+		for g := range preSet {
+			if iv.lo <= g && g <= iv.hi {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			remaining = append(remaining, iv)
+		}
+	}
+	sort.Slice(remaining, func(i, j int) bool {
+		if remaining[i].hi != remaining[j].hi {
+			return remaining[i].hi < remaining[j].hi
+		}
+		return remaining[i].lo < remaining[j].lo
+	})
+	var points []int
+	last := -1
+	for _, iv := range remaining {
+		if last >= iv.lo && last <= iv.hi {
+			continue
+		}
+		last = iv.hi
+		points = append(points, last)
+	}
+	return points
+}
+
+// Apply inserts the planned fences into a clone of the program, leaving the
+// analyzed program untouched. It returns the instrumented clone and the
+// instruction correspondence map (original → clone), which callers use to
+// re-locate analysis results (e.g. for verification) in the clone.
+func (p *Plan) Apply() (*ir.Program, map[*ir.Instr]*ir.Instr) {
+	clone, imap, bmap := p.Prog.Clone()
+	// Group placements per clone block, insert from the highest gap down so
+	// earlier indices stay valid.
+	byBlock := make(map[*ir.Block][]Placement)
+	for _, pl := range p.Placements {
+		nb := bmap[pl.Block]
+		byBlock[nb] = append(byBlock[nb], Placement{nb, pl.Gap, pl.Kind})
+	}
+	for nb, pls := range byBlock {
+		sort.Slice(pls, func(i, j int) bool { return pls[i].Gap > pls[j].Gap })
+		for _, pl := range pls {
+			nb.Insert(pl.Gap, &ir.Instr{Kind: ir.Fence, Imm: int64(pl.Kind), Synthetic: true})
+		}
+	}
+	for _, f := range p.EntryFns {
+		entry := bmap[f.Entry()]
+		entry.Insert(0, &ir.Instr{Kind: ir.Fence, Imm: int64(ir.FenceFull), Synthetic: true})
+	}
+	clone.Finalize()
+	return clone, imap
+}
+
+// Verify checks, on an instrumented program, that every ordering is
+// enforced: no control-flow path from the (cloned) source to the (cloned)
+// destination avoids a fence of sufficient strength. It returns an error
+// describing the first uncovered ordering found, or nil.
+//
+// imap maps analyzed instructions to their clones (as returned by Apply).
+func Verify(set *orders.Set, opts Options, instr *ir.Program, imap map[*ir.Instr]*ir.Instr) error {
+	if opts.NeedFull == nil {
+		opts.NeedFull = orders.NeedsFullFenceTSO
+	}
+	for _, f := range set.Prog.Funcs {
+		for _, o := range set.ByFn[f] {
+			u, v := imap[o.From], imap[o.To]
+			if u == nil || v == nil {
+				return fmt.Errorf("fence: ordering endpoints not mapped into instrumented program")
+			}
+			if unfencedPathExists(u, v, opts.NeedFull(o)) {
+				return fmt.Errorf("fence: uncovered %s ordering in %s: [%s] -> [%s]",
+					o.Type, f.Name, o.From, o.To)
+			}
+		}
+	}
+	return nil
+}
+
+// unfencedPathExists searches for a path from just-after u to just-before v
+// that crosses no fence of sufficient strength. needFull=true requires a
+// full fence to block the path; otherwise any fence (full or compiler)
+// blocks it.
+func unfencedPathExists(u, v *ir.Instr, needFull bool) bool {
+	type state struct {
+		b   *ir.Block
+		idx int
+	}
+	blocks := func(in *ir.Instr) bool {
+		if in.Kind != ir.Fence {
+			return false
+		}
+		if needFull {
+			return ir.FenceKind(in.Imm) == ir.FenceFull
+		}
+		return true
+	}
+	start := state{u.Block(), u.Pos() + 1}
+	goal := state{v.Block(), v.Pos()}
+	seen := map[state]bool{}
+	stack := []state{start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s == goal {
+			return true
+		}
+		if s.idx >= len(s.b.Instrs) {
+			continue // fell off an unterminated block (cannot happen on valid IR)
+		}
+		in := s.b.Instrs[s.idx]
+		if blocks(in) {
+			continue // path blocked by a fence
+		}
+		if in.IsTerminator() {
+			for _, succ := range s.b.Succs() {
+				stack = append(stack, state{succ, 0})
+			}
+			continue
+		}
+		stack = append(stack, state{s.b, s.idx + 1})
+	}
+	return false
+}
+
+// Describe renders the plan for human inspection (CLI and tests).
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan for %s: %d full fences, %d compiler barriers, %d entry fences\n",
+		p.Prog.Name, p.FullFences()-len(p.EntryFns), p.CompilerBarriers(), len(p.EntryFns))
+	for _, pl := range p.Placements {
+		fmt.Fprintf(&sb, "  %s/%s gap %d: %s\n", pl.Block.Fn().Name, pl.Block.Name, pl.Gap, pl.Kind)
+	}
+	for _, f := range p.EntryFns {
+		fmt.Fprintf(&sb, "  %s/entry: full (entry fence)\n", f.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package fence
+
+import (
+	"strings"
+	"testing"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+)
+
+// mkBlockProgram builds one function with two blocks:
+//
+//	entry: store a; store b; load a; jmp next
+//	next:  load b; ret
+func mkBlockProgram(t *testing.T) (*ir.Program, []*ir.Instr) {
+	t.Helper()
+	pb := ir.NewProgram("p")
+	a := pb.Global("a", 1)
+	bg := pb.Global("b", 1)
+	fb := pb.Func("f", 0)
+	one := fb.Const(1)
+	s1 := fb.Emit(&ir.Instr{Kind: ir.Store, G: a, Idx: ir.NoReg, A: one})
+	s2 := fb.Emit(&ir.Instr{Kind: ir.Store, G: bg, Idx: ir.NoReg, A: one})
+	l1 := fb.Emit(&ir.Instr{Kind: ir.Load, Dst: fb.NewReg(), G: a, Idx: ir.NoReg})
+	next := fb.NewBlock("next")
+	fb.Jmp(next)
+	fb.StartBlock(next)
+	l2 := fb.Emit(&ir.Instr{Kind: ir.Load, Dst: fb.NewReg(), G: bg, Idx: ir.NoReg})
+	fb.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, []*ir.Instr{s1, s2, l1, l2}
+}
+
+func TestAnchorSameBlockForward(t *testing.T) {
+	_, ins := mkBlockProgram(t)
+	s1, l1 := ins[0], ins[2]
+	blk, iv := anchor(orders.Ordering{From: s1, To: l1, Type: orders.WR})
+	if blk != s1.Block() {
+		t.Fatal("anchored in the wrong block")
+	}
+	// s1 at pos 1 (after the const), l1 at pos 3: interval [2, 3].
+	if iv.lo != s1.Pos()+1 || iv.hi != l1.Pos() {
+		t.Fatalf("interval [%d,%d], want [%d,%d]", iv.lo, iv.hi, s1.Pos()+1, l1.Pos())
+	}
+}
+
+func TestAnchorCrossBlock(t *testing.T) {
+	_, ins := mkBlockProgram(t)
+	s2, l2 := ins[1], ins[3]
+	blk, iv := anchor(orders.Ordering{From: s2, To: l2, Type: orders.WR})
+	if blk != s2.Block() {
+		t.Fatal("cross-block ordering must anchor in the source block")
+	}
+	// Fence must land after s2 and at latest just before the terminator.
+	if iv.lo != s2.Pos()+1 || iv.hi != len(s2.Block().Instrs)-1 {
+		t.Fatalf("interval [%d,%d], want [%d,%d]", iv.lo, iv.hi, s2.Pos()+1, len(s2.Block().Instrs)-1)
+	}
+}
+
+func TestStabGreedyOptimal(t *testing.T) {
+	cases := []struct {
+		name string
+		ivs  []interval
+		pre  []int
+		want int
+	}{
+		{"empty", nil, nil, 0},
+		{"single", []interval{{1, 3}}, nil, 1},
+		{"nested share a point", []interval{{1, 5}, {2, 3}}, nil, 1},
+		{"disjoint need two", []interval{{1, 2}, {4, 5}}, nil, 2},
+		{"chain overlapping", []interval{{1, 3}, {2, 4}, {3, 5}}, nil, 1},
+		{"classic two-stab", []interval{{1, 2}, {2, 3}, {4, 5}}, nil, 2},
+		{"pre covers all", []interval{{1, 3}}, []int{2}, 0},
+		{"pre covers some", []interval{{1, 2}, {4, 6}}, []int{1}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := stab(tc.ivs, tc.pre)
+			if len(got) != tc.want {
+				t.Fatalf("stab placed %d points %v, want %d", len(got), got, tc.want)
+			}
+			// Every interval must be stabbed by a chosen or pre point.
+			points := append(append([]int{}, got...), tc.pre...)
+			for _, iv := range tc.ivs {
+				hit := false
+				for _, p := range points {
+					if iv.lo <= p && p <= iv.hi {
+						hit = true
+					}
+				}
+				if !hit {
+					t.Fatalf("interval [%d,%d] left uncovered by %v", iv.lo, iv.hi, points)
+				}
+			}
+		})
+	}
+}
+
+func TestDescribeOutput(t *testing.T) {
+	p, _ := mkBlockProgram(t)
+	set, _, _ := pipeline(t, p)
+	plan := Minimize(set, Options{})
+	d := plan.Describe()
+	for _, want := range []string{"plan for p", "full"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestVerifyRejectsUnmappedInstrs(t *testing.T) {
+	p, _ := mkBlockProgram(t)
+	set, _, _ := pipeline(t, p)
+	plan := Minimize(set, Options{})
+	inst, _ := plan.Apply()
+	// An empty instruction map must be reported, not panic.
+	err := Verify(set, Options{}, inst, map[*ir.Instr]*ir.Instr{})
+	if err == nil || !strings.Contains(err.Error(), "not mapped") {
+		t.Fatalf("err = %v, want mapping complaint", err)
+	}
+}

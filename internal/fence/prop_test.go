@@ -1,0 +1,163 @@
+package fence
+
+import (
+	"math/rand"
+	"testing"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+)
+
+// randProgram generates a random but valid program mixing escaping and
+// local accesses, branches, loops, pointers and RMWs. It is the workload
+// for the property tests: whatever shape comes out, minimization must cover
+// every ordering and pruning must stay monotone.
+func randProgram(rng *rand.Rand) *ir.Program {
+	pb := ir.NewProgram("rand")
+	nGlobals := 2 + rng.Intn(4)
+	globals := make([]*ir.Global, nGlobals)
+	for i := range globals {
+		size := 1
+		if rng.Intn(2) == 0 {
+			size = 1 + rng.Intn(8)
+		}
+		globals[i] = pb.Global(string(rune('a'+i)), size)
+	}
+	nFuncs := 1 + rng.Intn(3)
+	for fi := 0; fi < nFuncs; fi++ {
+		name := "f" + string(rune('0'+fi))
+		b := pb.Func(name, 0)
+		vals := []ir.Reg{b.Const(int64(rng.Intn(100)))}
+		local := b.Alloca(4)
+		var emit func(depth int)
+		emit = func(depth int) {
+			n := 1 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				g := globals[rng.Intn(len(globals))]
+				v := vals[rng.Intn(len(vals))]
+				switch rng.Intn(10) {
+				case 0, 1: // global load
+					vals = append(vals, b.Load(g))
+				case 2, 3: // global store
+					b.Store(g, v)
+				case 4: // local traffic (non-escaping)
+					b.StorePtr(local, v)
+					vals = append(vals, b.LoadPtr(local))
+				case 5: // arithmetic
+					w := vals[rng.Intn(len(vals))]
+					vals = append(vals, b.Add(v, w))
+				case 6: // branch on a value (possibly creating control acquires)
+					if depth < 2 {
+						b.IfElse(b.Gt(v, b.Const(int64(rng.Intn(50)))), func() {
+							emit(depth + 1)
+						}, func() {
+							emit(depth + 1)
+						})
+					}
+				case 7: // small loop
+					if depth < 2 {
+						b.ForConst(0, int64(1+rng.Intn(3)), func(i ir.Reg) {
+							if rng.Intn(2) == 0 {
+								b.StoreIdx(globals[rng.Intn(len(globals))], b.Mod(i, b.Const(1)), i)
+							} else {
+								vals = append(vals, b.Load(globals[rng.Intn(len(globals))]))
+							}
+						})
+					}
+				case 8: // pointer access through addrof
+					ptr := b.AddrOf(g)
+					if rng.Intn(2) == 0 {
+						b.StorePtr(ptr, v)
+					} else {
+						vals = append(vals, b.LoadPtr(ptr))
+					}
+				case 9: // RMW
+					ptr := b.AddrOf(g)
+					if rng.Intn(2) == 0 {
+						vals = append(vals, b.CAS(ptr, v, b.Const(1)))
+					} else {
+						vals = append(vals, b.FetchAdd(ptr, b.Const(1)))
+					}
+				}
+			}
+		}
+		emit(0)
+		b.RetVoid()
+	}
+	return pb.MustBuild()
+}
+
+func TestPropertyMinimizeCoversAllOrderings(t *testing.T) {
+	rng := rand.New(rand.NewSource(20150207)) // PPoPP'15 :-)
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for trial := 0; trial < iters; trial++ {
+		p := randProgram(rng)
+		al := alias.Analyze(p)
+		esc := escape.Analyze(p, al)
+		set := orders.Generate(p, esc)
+		plan := Minimize(set, Options{})
+		inst, imap := plan.Apply()
+		if err := Verify(set, Options{}, inst, imap); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, ir.Format(p))
+		}
+	}
+}
+
+func TestPropertyPrunedPlansVerifyAndAreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for trial := 0; trial < iters; trial++ {
+		p := randProgram(rng)
+		al := alias.Analyze(p)
+		esc := escape.Analyze(p, al)
+		set := orders.Generate(p, esc)
+		ctl := acquire.Detect(p, al, esc, acquire.Control)
+		ac := acquire.Detect(p, al, esc, acquire.AddressControl)
+
+		prunedCtl := set.Prune(ctl)
+		prunedAC := set.Prune(ac)
+
+		// Monotonicity: Control acquires ⊆ A+C acquires implies
+		// orderings(Control) ⊆ orderings(A+C) ⊆ orderings(Pensieve).
+		if prunedCtl.Total() > prunedAC.Total() {
+			t.Fatalf("trial %d: Control kept %d > A+C kept %d", trial, prunedCtl.Total(), prunedAC.Total())
+		}
+		if prunedAC.Total() > set.Total() {
+			t.Fatalf("trial %d: pruning grew the set", trial)
+		}
+
+		for _, pr := range []*orders.Set{prunedCtl, prunedAC} {
+			plan := Minimize(pr, Options{})
+			inst, imap := plan.Apply()
+			if err := Verify(pr, Options{}, inst, imap); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestPropertyInstrumentedProgramsStayValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		p := randProgram(rng)
+		al := alias.Analyze(p)
+		esc := escape.Analyze(p, al)
+		set := orders.Generate(p, esc)
+		plan := Minimize(set, Options{
+			EntryFence: func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 },
+		})
+		inst, _ := plan.Apply()
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("trial %d: instrumented program invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package hb implements a dynamic happens-before data-race checker over SC
+// executions of ir programs, following the paper's Section 3 model:
+// happens-before is program order plus reads-from edges into
+// synchronization (acquire) reads, synchronization reads and writes are
+// exempt from race reporting, and a program is well-synchronized (legacy
+// DRF) when no data read or write races.
+//
+// The checker is the module's validation oracle for the paper's premise:
+// fed the acquires the detection algorithms found, the benchmark corpus
+// must be race free (so pruning is sound for it), while the intentionally
+// racy relaxation-solver example of Figure 1(b) must be flagged.
+//
+// Implementation: vector clocks. Every thread carries a clock; every write
+// publishes the writer's clock at the written address; an acquire read
+// joins the published clock into its thread; spawn and join edges transfer
+// clocks between parent and child. Data reads are checked against the last
+// write, and writes are checked against preceding data reads.
+package hb
+
+import (
+	"fmt"
+	"sort"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/tso"
+)
+
+// Race is one detected data race: a write and a conflicting data access
+// (read or write side listed second) not ordered by happens-before.
+type Race struct {
+	Addr   int64
+	Prev   *ir.Instr // the earlier access (always a write or data read)
+	Curr   *ir.Instr // the racing access observed second
+	PrevT  int
+	CurrT  int
+	IsRead bool // true when Curr is a data read racing a write
+}
+
+func (r Race) String() string {
+	kind := "write/write-after-read"
+	if r.IsRead {
+		kind = "read/write"
+	}
+	return fmt.Sprintf("%s race at addr %d: thread %d [%s] vs thread %d [%s]",
+		kind, r.Addr, r.PrevT, r.Prev, r.CurrT, r.Curr)
+}
+
+// Report is the outcome of one checked execution.
+type Report struct {
+	Races   []Race
+	Outcome *tso.Outcome
+}
+
+// HasRace reports whether any data race was observed.
+func (r *Report) HasRace() bool { return len(r.Races) > 0 }
+
+// vclock is a grow-on-demand vector clock.
+type vclock []int64
+
+func (v vclock) get(i int) int64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+func (v *vclock) set(i int, x int64) {
+	for len(*v) <= i {
+		*v = append(*v, 0)
+	}
+	(*v)[i] = x
+}
+
+func (v *vclock) join(o vclock) {
+	for i, x := range o {
+		if x > v.get(i) {
+			v.set(i, x)
+		}
+	}
+}
+
+func (v vclock) clone() vclock { return append(vclock(nil), v...) }
+
+type wordState struct {
+	writeVC  vclock    // writer's clock at the last write
+	writer   int       // last writer thread
+	writeIn  *ir.Instr // last writing instruction
+	hasWrite bool
+	reads    map[int]read // data reads since the last write, per thread
+}
+
+type read struct {
+	clock int64
+	in    *ir.Instr
+}
+
+type checker struct {
+	isAcquire func(*ir.Instr) bool
+	clocks    []vclock
+	words     map[int64]*wordState
+	races     []Race
+	seenPairs map[[2]*ir.Instr]bool
+	maxRaces  int
+}
+
+// Access implements tso.Tracer.
+func (c *checker) Access(tid int, in *ir.Instr, addr int64, write bool) {
+	vc := c.clock(tid)
+	w := c.word(addr)
+	if write {
+		// Check against data reads since the last write (write-after-read).
+		for rt, rd := range w.reads {
+			if rt != tid && vc.get(rt) < rd.clock {
+				c.race(Race{Addr: addr, Prev: rd.in, Curr: in, PrevT: rt, CurrT: tid, IsRead: false})
+			}
+		}
+		// Publish: every write is (conservatively) a release.
+		w.writeVC = vc.clone()
+		w.writer = tid
+		w.writeIn = in
+		w.hasWrite = true
+		w.reads = nil
+		// Release increments the releasing thread's own component.
+		vc.set(tid, vc.get(tid)+1)
+		return
+	}
+	rmw := in.Kind == ir.CAS || in.Kind == ir.FetchAdd
+	if rmw || c.isAcquire(in) {
+		// Synchronization read: join the publisher's clock, report nothing.
+		if w.hasWrite {
+			vc.join(w.writeVC)
+		}
+		return
+	}
+	// Data read: must be ordered after the last write.
+	if w.hasWrite && w.writer != tid && vc.get(w.writer) < w.writeVC.get(w.writer) {
+		c.race(Race{Addr: addr, Prev: w.writeIn, Curr: in, PrevT: w.writer, CurrT: tid, IsRead: true})
+	}
+	if w.reads == nil {
+		w.reads = make(map[int]read)
+	}
+	w.reads[tid] = read{clock: vc.get(tid), in: in}
+}
+
+// Spawn implements tso.Tracer: the child inherits the parent's clock.
+func (c *checker) Spawn(parent, child int) {
+	pv := c.clock(parent)
+	cv := c.clock(child)
+	cv.join(*pv)
+	cv.set(child, cv.get(child)+1)
+	pv.set(parent, pv.get(parent)+1)
+}
+
+// Join implements tso.Tracer: the parent inherits the child's clock.
+func (c *checker) Join(parent, child int) {
+	pv := c.clock(parent)
+	pv.join(*c.clock(child))
+	pv.set(parent, pv.get(parent)+1)
+}
+
+func (c *checker) clock(tid int) *vclock {
+	for len(c.clocks) <= tid {
+		v := vclock{}
+		v.set(len(c.clocks), 1)
+		c.clocks = append(c.clocks, v)
+	}
+	return &c.clocks[tid]
+}
+
+func (c *checker) word(addr int64) *wordState {
+	w, ok := c.words[addr]
+	if !ok {
+		w = &wordState{}
+		c.words[addr] = w
+	}
+	return w
+}
+
+func (c *checker) race(r Race) {
+	if len(c.races) >= c.maxRaces {
+		return
+	}
+	key := [2]*ir.Instr{r.Prev, r.Curr}
+	if c.seenPairs[key] {
+		return
+	}
+	c.seenPairs[key] = true
+	c.races = append(c.races, r)
+}
+
+// Check runs the program once under SC with the given scheduler seed and
+// reports the data races observed on that execution, treating the given
+// reads (plus all RMWs) as synchronization reads. A nil isAcquire treats
+// every read as a data read — the "no annotations, no detection" view.
+func Check(p *ir.Program, isAcquire func(*ir.Instr) bool, seed int64) *Report {
+	if isAcquire == nil {
+		isAcquire = func(*ir.Instr) bool { return false }
+	}
+	c := &checker{
+		isAcquire: isAcquire,
+		words:     make(map[int64]*wordState),
+		seenPairs: make(map[[2]*ir.Instr]bool),
+		maxRaces:  100,
+	}
+	out := tso.Run(p, tso.Config{
+		Mode:   tso.SC,
+		Sched:  tso.Random,
+		Seed:   seed,
+		Tracer: c,
+	})
+	sort.Slice(c.races, func(i, j int) bool { return c.races[i].Addr < c.races[j].Addr })
+	return &Report{Races: c.races, Outcome: out}
+}
+
+// CheckMany runs Check across several seeds and merges the race reports
+// (deduplicated by instruction pair). More schedules expose more races.
+func CheckMany(p *ir.Program, isAcquire func(*ir.Instr) bool, seeds ...int64) *Report {
+	merged := &Report{}
+	seen := map[[2]*ir.Instr]bool{}
+	for _, s := range seeds {
+		rep := Check(p, isAcquire, s)
+		if merged.Outcome == nil {
+			merged.Outcome = rep.Outcome
+		}
+		for _, r := range rep.Races {
+			key := [2]*ir.Instr{r.Prev, r.Curr}
+			if !seen[key] {
+				seen[key] = true
+				merged.Races = append(merged.Races, r)
+			}
+		}
+	}
+	return merged
+}

@@ -1,0 +1,218 @@
+package hb
+
+import (
+	"testing"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+// detect runs the paper's Control detection and returns its classifier.
+func detect(t *testing.T, p *ir.Program) func(*ir.Instr) bool {
+	t.Helper()
+	al := alias.Analyze(p)
+	esc := escape.Analyze(p, al)
+	res := acquire.Detect(p, al, esc, acquire.Control)
+	return res.IsSync
+}
+
+// mp is the well-synchronized Figure 1(a) producer-consumer.
+func mp(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgram("mp")
+	data := pb.Global("data", 1)
+	flag := pb.Global("flag", 1)
+	sink := pb.Global("sink", 1)
+	prod := pb.Func("producer", 0)
+	one := prod.Const(1)
+	prod.Store(data, prod.Const(42))
+	prod.Store(flag, one)
+	prod.RetVoid()
+	cons := pb.Func("consumer", 0)
+	cons.SpinWhileNe(flag, ir.NoReg, cons.Const(1))
+	v := cons.Load(data)
+	cons.Store(sink, v)
+	cons.RetVoid()
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("producer")
+	t2 := main.Spawn("consumer")
+	main.Join(t1)
+	main.Join(t2)
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}
+
+// solver is the Figure 1(b) relaxation-solver: intentionally racy reads of
+// the other thread's output (benign by design, but races nonetheless).
+func solver(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgram("solver")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)
+	o1 := pb.Global("o1", 1)
+	o2 := pb.Global("o2", 1)
+	p1 := pb.Func("p1", 0)
+	p1.Store(x, p1.Const(1)) // a1: x = C1
+	p1.Store(y, p1.Const(2)) // a2: y = C2
+	p1.RetVoid()
+	p2 := pb.Func("p2", 0)
+	l2 := p2.Load(y) // b1: local2 = y
+	l1 := p2.Load(x) // b2: local1 = x
+	p2.Store(o1, l1)
+	p2.Store(o2, l2)
+	p2.RetVoid()
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("p1")
+	t2 := main.Spawn("p2")
+	main.Join(t1)
+	main.Join(t2)
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}
+
+func TestMPIsRaceFreeGivenDetectedAcquires(t *testing.T) {
+	p := mp(t)
+	isAcq := detect(t, p)
+	rep := CheckMany(p, isAcq, 0, 1, 2, 3, 4, 5, 6, 7)
+	if rep.HasRace() {
+		t.Fatalf("well-synchronized MP reported races: %v", rep.Races)
+	}
+}
+
+func TestMPRacesWithoutAcquireKnowledge(t *testing.T) {
+	// With no acquire annotation the flag read cannot establish the edge,
+	// so the data read of `data` races with the producer's write.
+	p := mp(t)
+	rep := CheckMany(p, nil, 0, 1, 2, 3, 4, 5, 6, 7)
+	if !rep.HasRace() {
+		t.Fatal("unannotated MP must report the data race on `data`")
+	}
+}
+
+func TestSolverIsRacyEvenWithDetection(t *testing.T) {
+	// Figure 1(b): x and y are written and read with no synchronization at
+	// all; detection finds no acquires (no branches on the loads), so the
+	// races remain — matching the paper's point that the program is not
+	// well-synchronized (the races are benign by design, but they exist).
+	p := solver(t)
+	isAcq := detect(t, p)
+	rep := CheckMany(p, isAcq, 0, 1, 2, 3, 4, 5, 6, 7)
+	if !rep.HasRace() {
+		t.Fatal("the Figure 1(b) solver must report races")
+	}
+	for _, r := range rep.Races {
+		if !r.IsRead {
+			continue
+		}
+	}
+}
+
+func TestSpawnJoinEdgesPreventFalseRaces(t *testing.T) {
+	// main writes before spawn; child reads; main reads after join: all
+	// ordered, no races.
+	pb := ir.NewProgram("sj")
+	g := pb.Global("g", 1)
+	w := pb.Func("worker", 0)
+	v := w.Load(g)
+	w.Store(g, w.Add(v, w.Const(1)))
+	w.RetVoid()
+	main := pb.Func("main", 0)
+	main.Store(g, main.Const(5))
+	tid := main.Spawn("worker")
+	main.Join(tid)
+	v2 := main.Load(g)
+	main.Assert(main.Eq(v2, main.Const(6)), "sequential through spawn/join")
+	main.RetVoid()
+	pb.SetMain("main")
+	p := pb.MustBuild()
+	rep := CheckMany(p, nil, 0, 1, 2, 3)
+	if rep.HasRace() {
+		t.Fatalf("spawn/join ordered program reported races: %v", rep.Races)
+	}
+	if rep.Outcome.Failed() {
+		t.Fatalf("program failed: %v", rep.Outcome.Failures)
+	}
+}
+
+func TestRMWSynchronizesWithoutAnnotation(t *testing.T) {
+	// A spinlock via CAS: the critical sections are ordered through the
+	// lock acquire (CAS, always sync) and release write, so the counter
+	// updates do not race... except the release-write edge matters: the
+	// unlocking store publishes, the next CAS joins.
+	pb := ir.NewProgram("lock")
+	lock := pb.Global("lock", 1)
+	ctr := pb.Global("ctr", 1)
+	w := pb.Func("worker", 0)
+	pl := w.AddrOf(lock)
+	zero := w.Const(0)
+	one := w.Const(1)
+	w.ForConst(0, 20, func(i ir.Reg) {
+		w.While(func() ir.Reg {
+			got := w.CAS(pl, zero, one)
+			return w.Eq(got, zero)
+		}, func() {})
+		v := w.Load(ctr)
+		w.Store(ctr, w.Add(v, one))
+		w.Store(lock, zero) // release
+	})
+	w.RetVoid()
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("worker")
+	t2 := main.Spawn("worker")
+	main.Join(t1)
+	main.Join(t2)
+	v := main.Load(ctr)
+	main.Assert(main.Eq(v, main.Const(40)), "all increments kept")
+	main.RetVoid()
+	pb.SetMain("main")
+	p := pb.MustBuild()
+	rep := CheckMany(p, nil, 0, 1, 2, 3)
+	if rep.Outcome.Failed() {
+		t.Fatalf("lock program failed under SC: %v", rep.Outcome.Failures)
+	}
+	if rep.HasRace() {
+		t.Fatalf("CAS-locked counter reported races: %v", rep.Races)
+	}
+}
+
+func TestWriteAfterReadRaceDetected(t *testing.T) {
+	// t1 reads g (data read), t2 writes g concurrently: write-after-read.
+	pb := ir.NewProgram("war")
+	g := pb.Global("g", 1)
+	sink := pb.Global("sink", 1)
+	r := pb.Func("reader", 0)
+	v := r.Load(g)
+	r.Store(sink, v)
+	r.RetVoid()
+	wfn := pb.Func("writer", 0)
+	wfn.Store(g, wfn.Const(9))
+	wfn.RetVoid()
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("reader")
+	t2 := main.Spawn("writer")
+	main.Join(t1)
+	main.Join(t2)
+	main.RetVoid()
+	pb.SetMain("main")
+	p := pb.MustBuild()
+	rep := CheckMany(p, nil, 0, 1, 2, 3, 4, 5, 6, 7)
+	if !rep.HasRace() {
+		t.Fatal("reader/writer race not detected")
+	}
+}
+
+func TestRaceStringsAreInformative(t *testing.T) {
+	p := solver(t)
+	rep := CheckMany(p, nil, 0, 1, 2, 3)
+	if !rep.HasRace() {
+		t.Fatal("no races to format")
+	}
+	s := rep.Races[0].String()
+	if len(s) < 10 {
+		t.Fatalf("race string too short: %q", s)
+	}
+}

@@ -1,0 +1,343 @@
+package ir
+
+import "fmt"
+
+// ProgBuilder accumulates a Program. Typical use:
+//
+//	pb := ir.NewProgram("mp")
+//	flag := pb.Global("flag", 1)
+//	b := pb.Func("main", 0)
+//	... emit ...
+//	prog := pb.MustBuild()
+type ProgBuilder struct {
+	p *Program
+}
+
+// NewProgram starts a new program builder.
+func NewProgram(name string) *ProgBuilder {
+	return &ProgBuilder{p: &Program{Name: name}}
+}
+
+// Global declares a shared location of the given size (in words) with
+// optional initial values.
+func (pb *ProgBuilder) Global(name string, size int, init ...int64) *Global {
+	g := &Global{Name: name, Size: size, Init: init}
+	pb.p.Globals = append(pb.p.Globals, g)
+	return g
+}
+
+// SetMain names the entry function run by the interpreter.
+func (pb *ProgBuilder) SetMain(name string) { pb.p.Main = name }
+
+// Func starts a new function with nparams parameters (delivered in registers
+// 0..nparams-1) and returns its builder positioned at the entry block.
+func (pb *ProgBuilder) Func(name string, nparams int) *FB {
+	fn := &Fn{Name: name, NParams: nparams, NRegs: nparams}
+	pb.p.Funcs = append(pb.p.Funcs, fn)
+	b := &FB{pb: pb, fn: fn}
+	entry := b.NewBlock("entry")
+	b.StartBlock(entry)
+	return b
+}
+
+// Build validates and finalizes the program.
+func (pb *ProgBuilder) Build() (*Program, error) {
+	if err := pb.p.Validate(); err != nil {
+		return nil, err
+	}
+	return pb.p, nil
+}
+
+// MustBuild is Build for statically-known programs; it panics on a
+// malformed program, which in this module is always a programming error in
+// the corpus, not an input error.
+func (pb *ProgBuilder) MustBuild() *Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(fmt.Sprintf("ir: MustBuild(%s): %v", pb.p.Name, err))
+	}
+	return p
+}
+
+// FB builds one function. It tracks a current block; emitting a terminator
+// clears it, and structured helpers (If, While, For) manage the block
+// plumbing so corpus code reads like the pseudo-code in the paper.
+type FB struct {
+	pb  *ProgBuilder
+	fn  *Fn
+	cur *Block
+	nb  int // block name counter
+}
+
+// Fn returns the function under construction.
+func (b *FB) Fn() *Fn { return b.fn }
+
+// Param returns the register holding parameter i.
+func (b *FB) Param(i int) Reg {
+	if i < 0 || i >= b.fn.NParams {
+		panic(fmt.Sprintf("ir: %s has no parameter %d", b.fn.Name, i))
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (b *FB) NewReg() Reg {
+	r := Reg(b.fn.NRegs)
+	b.fn.NRegs++
+	return r
+}
+
+// NewBlock creates (but does not enter) a block with a unique name derived
+// from the hint.
+func (b *FB) NewBlock(hint string) *Block {
+	name := hint
+	if b.nb > 0 {
+		name = fmt.Sprintf("%s.%d", hint, b.nb)
+	}
+	b.nb++
+	blk := &Block{Name: name}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+// StartBlock makes blk the current emission target.
+func (b *FB) StartBlock(blk *Block) { b.cur = blk }
+
+// Emit appends a raw instruction to the current block. Most callers should
+// prefer the typed helpers below.
+func (b *FB) Emit(in *Instr) *Instr {
+	if b.cur == nil {
+		panic(fmt.Sprintf("ir: %s: emit %s after terminator without StartBlock", b.fn.Name, in.Kind))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	if in.IsTerminator() {
+		b.cur = nil
+	}
+	return in
+}
+
+func (b *FB) emitDst(in *Instr) Reg {
+	in.Dst = b.NewReg()
+	b.Emit(in)
+	return in.Dst
+}
+
+// Const materializes an integer literal.
+func (b *FB) Const(v int64) Reg { return b.emitDst(&Instr{Kind: Const, Imm: v}) }
+
+// Move copies src into a fresh register.
+func (b *FB) Move(src Reg) Reg { return b.emitDst(&Instr{Kind: Move, A: src}) }
+
+// MoveTo copies src into the existing register dst; this is how loop
+// induction variables and accumulators are updated.
+func (b *FB) MoveTo(dst, src Reg) { b.Emit(&Instr{Kind: Move, Dst: dst, A: src}) }
+
+// Bin emits a binary operation.
+func (b *FB) Bin(op Op, x, y Reg) Reg {
+	return b.emitDst(&Instr{Kind: BinOp, Op: op, A: x, B: y})
+}
+
+// Arithmetic and comparison conveniences.
+func (b *FB) Add(x, y Reg) Reg { return b.Bin(OpAdd, x, y) }
+func (b *FB) Sub(x, y Reg) Reg { return b.Bin(OpSub, x, y) }
+func (b *FB) Mul(x, y Reg) Reg { return b.Bin(OpMul, x, y) }
+func (b *FB) Div(x, y Reg) Reg { return b.Bin(OpDiv, x, y) }
+func (b *FB) Mod(x, y Reg) Reg { return b.Bin(OpMod, x, y) }
+func (b *FB) And(x, y Reg) Reg { return b.Bin(OpAnd, x, y) }
+func (b *FB) Or(x, y Reg) Reg  { return b.Bin(OpOr, x, y) }
+func (b *FB) Xor(x, y Reg) Reg { return b.Bin(OpXor, x, y) }
+func (b *FB) Eq(x, y Reg) Reg  { return b.Bin(OpEq, x, y) }
+func (b *FB) Ne(x, y Reg) Reg  { return b.Bin(OpNe, x, y) }
+func (b *FB) Lt(x, y Reg) Reg  { return b.Bin(OpLt, x, y) }
+func (b *FB) Le(x, y Reg) Reg  { return b.Bin(OpLe, x, y) }
+func (b *FB) Gt(x, y Reg) Reg  { return b.Bin(OpGt, x, y) }
+func (b *FB) Ge(x, y Reg) Reg  { return b.Bin(OpGe, x, y) }
+
+// AddImm adds a constant to a register.
+func (b *FB) AddImm(x Reg, v int64) Reg { return b.Add(x, b.Const(v)) }
+
+// MulImm multiplies a register by a constant.
+func (b *FB) MulImm(x Reg, v int64) Reg { return b.Mul(x, b.Const(v)) }
+
+// Load reads a scalar global.
+func (b *FB) Load(g *Global) Reg { return b.emitDst(&Instr{Kind: Load, G: g, Idx: NoReg}) }
+
+// LoadIdx reads g[idx].
+func (b *FB) LoadIdx(g *Global, idx Reg) Reg {
+	return b.emitDst(&Instr{Kind: Load, G: g, Idx: idx})
+}
+
+// Store writes a scalar global.
+func (b *FB) Store(g *Global, v Reg) { b.Emit(&Instr{Kind: Store, G: g, Idx: NoReg, A: v}) }
+
+// StoreIdx writes g[idx].
+func (b *FB) StoreIdx(g *Global, idx, v Reg) { b.Emit(&Instr{Kind: Store, G: g, Idx: idx, A: v}) }
+
+// LoadPtr dereferences a pointer register.
+func (b *FB) LoadPtr(addr Reg) Reg { return b.emitDst(&Instr{Kind: LoadPtr, Addr: addr}) }
+
+// StorePtr writes through a pointer register.
+func (b *FB) StorePtr(addr, v Reg) { b.Emit(&Instr{Kind: StorePtr, Addr: addr, A: v}) }
+
+// AddrOf takes the address of a scalar global.
+func (b *FB) AddrOf(g *Global) Reg { return b.emitDst(&Instr{Kind: AddrOf, G: g, Idx: NoReg}) }
+
+// AddrOfIdx takes &g[idx].
+func (b *FB) AddrOfIdx(g *Global, idx Reg) Reg {
+	return b.emitDst(&Instr{Kind: AddrOf, G: g, Idx: idx})
+}
+
+// Gep performs word-scaled address arithmetic: base + off.
+func (b *FB) Gep(base, off Reg) Reg { return b.emitDst(&Instr{Kind: Gep, A: base, B: off}) }
+
+// Alloca reserves size thread-local words and yields their address. The
+// address may still escape (e.g. via a global), which is exactly what the
+// escape analysis must discover.
+func (b *FB) Alloca(size int64) Reg { return b.emitDst(&Instr{Kind: Alloca, Imm: size}) }
+
+// Malloc reserves size heap words and yields their address.
+func (b *FB) Malloc(size int64) Reg { return b.emitDst(&Instr{Kind: Malloc, Imm: size}) }
+
+// CAS emits an atomic compare-and-swap on *addr; result is 1 on success.
+func (b *FB) CAS(addr, old, new Reg) Reg {
+	return b.emitDst(&Instr{Kind: CAS, Addr: addr, A: old, B: new})
+}
+
+// FetchAdd emits an atomic fetch-and-add on *addr, returning the old value.
+func (b *FB) FetchAdd(addr, delta Reg) Reg {
+	return b.emitDst(&Instr{Kind: FetchAdd, Addr: addr, A: delta})
+}
+
+// Fence emits a fence written by the "programmer" (manual placement).
+func (b *FB) Fence(k FenceKind) { b.Emit(&Instr{Kind: Fence, Imm: int64(k)}) }
+
+// Call invokes callee and returns its result register.
+func (b *FB) Call(callee string, args ...Reg) Reg {
+	return b.emitDst(&Instr{Kind: Call, Callee: callee, Args: args})
+}
+
+// CallVoid invokes callee discarding any result.
+func (b *FB) CallVoid(callee string, args ...Reg) {
+	b.Emit(&Instr{Kind: Call, Dst: NoReg, Callee: callee, Args: args})
+}
+
+// Spawn starts callee on a new thread and returns the thread id.
+func (b *FB) Spawn(callee string, args ...Reg) Reg {
+	return b.emitDst(&Instr{Kind: Spawn, Callee: callee, Args: args})
+}
+
+// Join blocks until the thread with the given id returns.
+func (b *FB) Join(tid Reg) { b.Emit(&Instr{Kind: Join, A: tid}) }
+
+// Assert emits a runtime check used by the TSO test harness: the program
+// fails if cond is zero.
+func (b *FB) Assert(cond Reg, msg string) { b.Emit(&Instr{Kind: Assert, A: cond, Msg: msg}) }
+
+// Print emits a debug print of a register.
+func (b *FB) Print(x Reg) { b.Emit(&Instr{Kind: Print, A: x}) }
+
+// Ret returns a value.
+func (b *FB) Ret(v Reg) { b.Emit(&Instr{Kind: Ret, A: v}) }
+
+// RetVoid returns without a value.
+func (b *FB) RetVoid() { b.Emit(&Instr{Kind: Ret, A: NoReg}) }
+
+// Jmp emits an unconditional jump.
+func (b *FB) Jmp(blk *Block) { b.Emit(&Instr{Kind: Jmp, Then: blk}) }
+
+// Br emits a conditional branch.
+func (b *FB) Br(cond Reg, then, els *Block) {
+	b.Emit(&Instr{Kind: Br, A: cond, Then: then, Else: els})
+}
+
+// If runs then() when cond is non-zero.
+func (b *FB) If(cond Reg, then func()) {
+	b.IfElse(cond, then, nil)
+}
+
+// IfElse runs then() when cond is non-zero, otherwise els() (which may be
+// nil). Either arm may end the function with Ret.
+func (b *FB) IfElse(cond Reg, then, els func()) {
+	thenB := b.NewBlock("then")
+	join := b.NewBlock("endif")
+	elseB := join
+	if els != nil {
+		elseB = b.NewBlock("else")
+	}
+	b.Br(cond, thenB, elseB)
+	b.StartBlock(thenB)
+	then()
+	if b.cur != nil {
+		b.Jmp(join)
+	}
+	if els != nil {
+		b.StartBlock(elseB)
+		els()
+		if b.cur != nil {
+			b.Jmp(join)
+		}
+	}
+	b.StartBlock(join)
+}
+
+// While emits a pre-tested loop: cond() is evaluated in a fresh header block
+// each iteration and the body runs while it is non-zero.
+func (b *FB) While(cond func() Reg, body func()) {
+	head := b.NewBlock("while.head")
+	bodyB := b.NewBlock("while.body")
+	exit := b.NewBlock("while.exit")
+	b.Jmp(head)
+	b.StartBlock(head)
+	c := cond()
+	b.Br(c, bodyB, exit)
+	b.StartBlock(bodyB)
+	body()
+	if b.cur != nil {
+		b.Jmp(head)
+	}
+	b.StartBlock(exit)
+}
+
+// DoWhile emits a post-tested loop: body() runs, then its returned register
+// is tested; non-zero repeats the loop.
+func (b *FB) DoWhile(body func() Reg) {
+	bodyB := b.NewBlock("do.body")
+	exit := b.NewBlock("do.exit")
+	b.Jmp(bodyB)
+	b.StartBlock(bodyB)
+	c := body()
+	b.Br(c, bodyB, exit)
+	b.StartBlock(exit)
+}
+
+// For emits a counted loop over i in [lo, hi). The induction register passed
+// to body is updated in place each iteration.
+func (b *FB) For(lo, hi Reg, body func(i Reg)) {
+	i := b.Move(lo)
+	one := b.Const(1)
+	b.While(func() Reg { return b.Lt(i, hi) }, func() {
+		body(i)
+		if b.cur != nil {
+			b.MoveTo(i, b.Add(i, one))
+		}
+	})
+}
+
+// ForConst is For with literal bounds.
+func (b *FB) ForConst(lo, hi int64, body func(i Reg)) {
+	b.For(b.Const(lo), b.Const(hi), body)
+}
+
+// SpinWhileNe emits the classic acquire idiom `while (load(g) != want);` —
+// a busy-wait whose load must be detected as a control acquire.
+func (b *FB) SpinWhileNe(g *Global, idx, want Reg) {
+	b.While(func() Reg {
+		var v Reg
+		if idx == NoReg {
+			v = b.Load(g)
+		} else {
+			v = b.LoadIdx(g, idx)
+		}
+		return b.Ne(v, want)
+	}, func() {})
+}

@@ -1,0 +1,411 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildMP constructs the paper's Figure 4 MP (message-passing) example:
+// producer writes data then flag; consumer spins on flag then reads data.
+func buildMP(t testing.TB) *Program {
+	t.Helper()
+	pb := NewProgram("mp")
+	data := pb.Global("data", 1)
+	flag := pb.Global("flag", 1)
+
+	prod := pb.Func("producer", 0)
+	one := prod.Const(1)
+	prod.Store(data, one)
+	prod.Store(flag, one)
+	prod.RetVoid()
+
+	cons := pb.Func("consumer", 0)
+	one2 := cons.Const(1)
+	cons.SpinWhileNe(flag, NoReg, one2)
+	v := cons.Load(data)
+	cons.Assert(cons.Eq(v, one2), "consumer must observe data=1")
+	cons.RetVoid()
+
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("producer")
+	t2 := main.Spawn("consumer")
+	main.Join(t1)
+	main.Join(t2)
+	main.RetVoid()
+	pb.SetMain("main")
+
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderMP(t *testing.T) {
+	p := buildMP(t)
+	if got := len(p.Funcs); got != 3 {
+		t.Fatalf("got %d funcs, want 3", got)
+	}
+	cons := p.Fn("consumer")
+	if cons == nil {
+		t.Fatal("consumer not found")
+	}
+	// The spin loop must produce a load feeding a branch.
+	var loads, brs int
+	cons.Instrs(func(in *Instr) {
+		switch in.Kind {
+		case Load:
+			loads++
+		case Br:
+			brs++
+		}
+	})
+	if loads < 2 {
+		t.Errorf("consumer has %d loads, want >= 2 (flag spin + data)", loads)
+	}
+	if brs < 1 {
+		t.Errorf("consumer has %d conditional branches, want >= 1", brs)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Program
+		want  string
+	}{
+		{
+			name: "empty block",
+			build: func() *Program {
+				return &Program{Name: "x", Funcs: []*Fn{{Name: "f", Blocks: []*Block{{Name: "entry"}}}}}
+			},
+			want: "empty",
+		},
+		{
+			name: "missing terminator",
+			build: func() *Program {
+				return &Program{Name: "x", Funcs: []*Fn{{
+					Name: "f", NRegs: 1,
+					Blocks: []*Block{{Name: "entry", Instrs: []*Instr{{Kind: Const, Dst: 0, Imm: 1}}}},
+				}}}
+			},
+			want: "terminator",
+		},
+		{
+			name: "register out of range",
+			build: func() *Program {
+				return &Program{Name: "x", Funcs: []*Fn{{
+					Name: "f", NRegs: 1,
+					Blocks: []*Block{{Name: "entry", Instrs: []*Instr{
+						{Kind: Const, Dst: 5, Imm: 1},
+						{Kind: Ret, A: NoReg},
+					}}},
+				}}}
+			},
+			want: "out of range",
+		},
+		{
+			name: "undefined callee",
+			build: func() *Program {
+				return &Program{Name: "x", Funcs: []*Fn{{
+					Name: "f", NRegs: 1,
+					Blocks: []*Block{{Name: "entry", Instrs: []*Instr{
+						{Kind: Call, Dst: NoReg, Callee: "nope"},
+						{Kind: Ret, A: NoReg},
+					}}},
+				}}}
+			},
+			want: "undefined function",
+		},
+		{
+			name: "undefined main",
+			build: func() *Program {
+				return &Program{Name: "x", Main: "main"}
+			},
+			want: "main function",
+		},
+		{
+			name: "arity mismatch",
+			build: func() *Program {
+				callee := &Fn{Name: "g", NParams: 2, NRegs: 2, Blocks: []*Block{
+					{Name: "entry", Instrs: []*Instr{{Kind: Ret, A: NoReg}}},
+				}}
+				caller := &Fn{Name: "f", NRegs: 1, Blocks: []*Block{
+					{Name: "entry", Instrs: []*Instr{
+						{Kind: Call, Dst: NoReg, Callee: "g", Args: []Reg{0}},
+						{Kind: Ret, A: NoReg},
+					}}},
+				}
+				return &Program{Name: "x", Funcs: []*Fn{callee, caller}}
+			},
+			want: "want 2",
+		},
+		{
+			name: "bad global size",
+			build: func() *Program {
+				return &Program{Name: "x", Globals: []*Global{{Name: "g", Size: 0}}}
+			},
+			want: "size 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if err == nil {
+				t.Fatal("Validate passed, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUsesAndMemFlags(t *testing.T) {
+	g := &Global{Name: "g", Size: 4}
+	cases := []struct {
+		in     Instr
+		uses   int
+		reads  bool
+		writes bool
+	}{
+		{Instr{Kind: Const, Dst: 0, Imm: 7}, 0, false, false},
+		{Instr{Kind: BinOp, Op: OpAdd, Dst: 2, A: 0, B: 1}, 2, false, false},
+		{Instr{Kind: Load, Dst: 1, G: g, Idx: 0}, 1, true, false},
+		{Instr{Kind: Load, Dst: 1, G: g, Idx: NoReg}, 0, true, false},
+		{Instr{Kind: Store, G: g, Idx: 0, A: 1}, 2, false, true},
+		{Instr{Kind: LoadPtr, Dst: 1, Addr: 0}, 1, true, false},
+		{Instr{Kind: StorePtr, Addr: 0, A: 1}, 2, false, true},
+		{Instr{Kind: CAS, Dst: 3, Addr: 0, A: 1, B: 2}, 3, true, true},
+		{Instr{Kind: FetchAdd, Dst: 2, Addr: 0, A: 1}, 2, true, true},
+		{Instr{Kind: Fence, Imm: int64(FenceFull)}, 0, false, false},
+		{Instr{Kind: Gep, Dst: 2, A: 0, B: 1}, 2, false, false},
+		{Instr{Kind: AddrOf, Dst: 1, G: g, Idx: 0}, 1, false, false},
+	}
+	for _, tc := range cases {
+		if got := len(tc.in.Uses()); got != tc.uses {
+			t.Errorf("%s: %d uses, want %d", tc.in.Kind, got, tc.uses)
+		}
+		if got := tc.in.ReadsMem(); got != tc.reads {
+			t.Errorf("%s: ReadsMem=%v, want %v", tc.in.Kind, got, tc.reads)
+		}
+		if got := tc.in.WritesMem(); got != tc.writes {
+			t.Errorf("%s: WritesMem=%v, want %v", tc.in.Kind, got, tc.writes)
+		}
+	}
+}
+
+func TestFinalizePositions(t *testing.T) {
+	p := buildMP(t)
+	p.Finalize()
+	for _, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			if b.Fn() != f {
+				t.Fatalf("%s/%s: wrong fn back-reference", f.Name, b.Name)
+			}
+			if b.ID() != bi {
+				t.Fatalf("%s/%s: id %d, want %d", f.Name, b.Name, b.ID(), bi)
+			}
+			for pi, in := range b.Instrs {
+				if in.Block() != b || in.Pos() != pi {
+					t.Fatalf("%s/%s[%d]: bad back-reference", f.Name, b.Name, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockInsertRenumbers(t *testing.T) {
+	p := buildMP(t)
+	f := p.Fn("producer")
+	b := f.Entry()
+	n := len(b.Instrs)
+	b.Insert(1, &Instr{Kind: Fence, Imm: int64(FenceFull), Synthetic: true})
+	p.Finalize()
+	if len(b.Instrs) != n+1 {
+		t.Fatalf("got %d instrs, want %d", len(b.Instrs), n+1)
+	}
+	if b.Instrs[1].Kind != Fence {
+		t.Fatalf("instr 1 is %s, want fence", b.Instrs[1].Kind)
+	}
+	for pi, in := range b.Instrs {
+		if in.Pos() != pi {
+			t.Fatalf("pos %d not renumbered (got %d)", pi, in.Pos())
+		}
+	}
+	full, comp := p.CountFences(true)
+	if full != 1 || comp != 0 {
+		t.Fatalf("CountFences(synthetic)=(%d,%d), want (1,0)", full, comp)
+	}
+}
+
+func TestCloneIsDeepAndMapped(t *testing.T) {
+	p := buildMP(t)
+	q, imap, bmap := p.Clone()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if q == p {
+		t.Fatal("clone returned same program")
+	}
+	// Every instruction mapped, all pointers into the clone.
+	count := 0
+	for _, f := range p.Funcs {
+		nf := q.Fn(f.Name)
+		if nf == nil {
+			t.Fatalf("clone missing func %s", f.Name)
+		}
+		for bi, b := range f.Blocks {
+			nb := bmap[b]
+			if nb == nil || nf.Blocks[bi] != nb {
+				t.Fatalf("%s: block %s not mapped in order", f.Name, b.Name)
+			}
+			for pi, in := range b.Instrs {
+				ni := imap[in]
+				if ni == nil || nb.Instrs[pi] != ni {
+					t.Fatalf("%s/%s[%d]: instruction not mapped", f.Name, b.Name, pi)
+				}
+				if ni == in {
+					t.Fatal("clone shares instruction pointer")
+				}
+				if in.G != nil && ni.G == in.G {
+					t.Fatal("clone shares global pointer")
+				}
+				if in.Then != nil && ni.Then != bmap[in.Then] {
+					t.Fatal("clone branch target not remapped")
+				}
+				count++
+			}
+		}
+	}
+	// Mutating the clone must not affect the original.
+	q.Fn("producer").Entry().Insert(0, &Instr{Kind: Fence, Imm: int64(FenceFull)})
+	if got := len(p.Fn("producer").Entry().Instrs); got != 4 {
+		t.Fatalf("original mutated by clone edit: %d instrs", got)
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	p := buildMP(t)
+	cons := p.Fn("consumer")
+	// Entry jumps to the while head; head branches to body/exit.
+	entry := cons.Entry()
+	succs := entry.Succs()
+	if len(succs) != 1 {
+		t.Fatalf("entry has %d succs, want 1", len(succs))
+	}
+	head := succs[0]
+	hs := head.Succs()
+	if len(hs) != 2 {
+		t.Fatalf("loop head has %d succs, want 2", len(hs))
+	}
+	// Ret block has no successors.
+	last := cons.Blocks[len(cons.Blocks)-1]
+	if n := len(last.Succs()); n != 0 {
+		t.Fatalf("ret block has %d succs, want 0", n)
+	}
+	// A Br with equal targets deduplicates.
+	b := &Block{Name: "x"}
+	b.Instrs = []*Instr{{Kind: Br, A: 0, Then: b, Else: b}}
+	if n := len(b.Succs()); n != 1 {
+		t.Fatalf("self-br has %d succs, want 1", n)
+	}
+}
+
+func TestOpAndKindNames(t *testing.T) {
+	for o := Op(0); o < opEnd; o++ {
+		name := o.String()
+		if strings.Contains(name, "op(") {
+			t.Fatalf("op %d has no name", o)
+		}
+		back, ok := OpFromName(name)
+		if !ok || back != o {
+			t.Fatalf("OpFromName(%q) = %v,%v, want %v", name, back, ok, o)
+		}
+	}
+	if _, ok := OpFromName("frobnicate"); ok {
+		t.Fatal("OpFromName accepted nonsense")
+	}
+	for k := Kind(0); k < kindEnd; k++ {
+		if strings.Contains(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestStructuredControlFlow(t *testing.T) {
+	pb := NewProgram("ctl")
+	g := pb.Global("g", 8)
+	b := pb.Func("f", 1)
+	x := b.Param(0)
+	// if/else with both arms
+	b.IfElse(b.Gt(x, b.Const(0)), func() {
+		b.Store(g, x)
+	}, func() {
+		b.StoreIdx(g, b.Const(1), x)
+	})
+	// nested For over constant range
+	b.ForConst(0, 4, func(i Reg) {
+		v := b.LoadIdx(g, i)
+		b.If(b.Gt(v, b.Const(10)), func() {
+			b.StoreIdx(g, i, b.Const(10))
+		})
+	})
+	// DoWhile
+	n := b.Move(b.Const(3))
+	b.DoWhile(func() Reg {
+		b.MoveTo(n, b.Sub(n, b.Const(1)))
+		return b.Gt(n, b.Const(0))
+	})
+	b.Ret(n)
+	pb.SetMain("f")
+	// main must exist for SetMain; point at f
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f := p.Fn("f")
+	if len(f.Blocks) < 8 {
+		t.Fatalf("structured helpers produced only %d blocks", len(f.Blocks))
+	}
+	// All blocks reachable-ish sanity: every block except entry has a predecessor.
+	preds := map[*Block]int{}
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Succs() {
+			preds[s]++
+		}
+	}
+	for _, blk := range f.Blocks[1:] {
+		if preds[blk] == 0 {
+			t.Errorf("block %s unreachable", blk.Name)
+		}
+	}
+}
+
+func TestEmitAfterTerminatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit after terminator did not panic")
+		}
+	}()
+	pb := NewProgram("x")
+	b := pb.Func("f", 0)
+	b.RetVoid()
+	b.Const(1) // must panic
+}
+
+func TestProgramIndexInvalidation(t *testing.T) {
+	pb := NewProgram("x")
+	b := pb.Func("f", 0)
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fn("f") == nil {
+		t.Fatal("Fn(f) nil after build")
+	}
+	if p.Fn("missing") != nil || p.Global("missing") != nil {
+		t.Fatal("lookup of missing name returned non-nil")
+	}
+}

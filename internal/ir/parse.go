@@ -1,0 +1,511 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the textual syntax produced by Print. The format
+// is line-oriented:
+//
+//	program <name>
+//	global <name> <size> [= v0 v1 ...]
+//	main <fn>
+//	func <name> params=<n> regs=<n> {
+//	<label>:
+//	  r1 = const 42
+//	  ...
+//	}
+//
+// Comments start with ';' or '#' and run to end of line. Parse validates the
+// resulting program before returning it.
+func Parse(src string) (*Program, error) {
+	pr := &parser{prog: &Program{}}
+	if err := pr.run(src); err != nil {
+		return nil, err
+	}
+	if err := pr.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: parsed program invalid: %w", err)
+	}
+	return pr.prog, nil
+}
+
+// MustParse is Parse for trusted embedded sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	prog *Program
+	line int
+
+	// per-function state
+	fn      *Fn
+	cur     *Block
+	blocks  map[string]*Block // every mentioned block, defined or forward-referenced
+	defined map[*Block]bool   // blocks whose label has appeared
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.statement(line); err != nil {
+			return err
+		}
+	}
+	if p.fn != nil {
+		return p.errf("unterminated function %q (missing '}')", p.fn.Name)
+	}
+	return nil
+}
+
+func (p *parser) statement(line string) error {
+	if p.fn == nil {
+		return p.topLevel(line)
+	}
+	if line == "}" {
+		return p.endFunc()
+	}
+	if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+		return p.startLabel(strings.TrimSuffix(line, ":"))
+	}
+	if p.cur == nil {
+		return p.errf("instruction outside a block (missing label?)")
+	}
+	in, err := p.instruction(line)
+	if err != nil {
+		return err
+	}
+	p.cur.Instrs = append(p.cur.Instrs, in)
+	return nil
+}
+
+func (p *parser) topLevel(line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "program":
+		if len(f) != 2 {
+			return p.errf("want 'program <name>'")
+		}
+		p.prog.Name = f[1]
+	case "main":
+		if len(f) != 2 {
+			return p.errf("want 'main <fn>'")
+		}
+		p.prog.Main = f[1]
+	case "global":
+		if len(f) < 3 {
+			return p.errf("want 'global <name> <size> [= v...]'")
+		}
+		size, err := strconv.Atoi(f[2])
+		if err != nil {
+			return p.errf("bad global size %q", f[2])
+		}
+		g := &Global{Name: f[1], Size: size}
+		if len(f) > 3 {
+			if f[3] != "=" {
+				return p.errf("want '=' before global initializers")
+			}
+			for _, v := range f[4:] {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return p.errf("bad initializer %q", v)
+				}
+				g.Init = append(g.Init, n)
+			}
+		}
+		p.prog.Globals = append(p.prog.Globals, g)
+		p.prog.globals = nil // invalidate index
+	case "func":
+		// func <name> params=<n> regs=<n> {
+		if len(f) != 4 && !(len(f) == 5 && f[4] == "{") {
+			return p.errf("want 'func <name> params=<n> regs=<n> {'")
+		}
+		nparams, err := parseKV(f[2], "params")
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		nregs, err := parseKV(f[3], "regs")
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		p.fn = &Fn{Name: f[1], NParams: nparams, NRegs: nregs}
+		p.blocks = make(map[string]*Block)
+		p.defined = make(map[*Block]bool)
+		p.cur = nil
+		p.prog.Funcs = append(p.prog.Funcs, p.fn)
+		p.prog.byName = nil // invalidate index
+	default:
+		return p.errf("unknown top-level directive %q", f[0])
+	}
+	return nil
+}
+
+func parseKV(s, key string) (int, error) {
+	val, ok := strings.CutPrefix(s, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("want '%s=<n>', got %q", key, s)
+	}
+	return strconv.Atoi(val)
+}
+
+func (p *parser) startLabel(name string) error {
+	b, err := p.block(name)
+	if err != nil {
+		return err
+	}
+	if p.defined[b] {
+		return p.errf("duplicate label %q", name)
+	}
+	p.defined[b] = true
+	p.fn.Blocks = append(p.fn.Blocks, b)
+	p.cur = b
+	return nil
+}
+
+// block returns the named block, creating a forward-declared one on first
+// mention. Declaration order in the file is preserved for defined blocks.
+func (p *parser) block(name string) (*Block, error) {
+	if name == "" {
+		return nil, p.errf("empty block name")
+	}
+	if b, ok := p.blocks[name]; ok {
+		return b, nil
+	}
+	b := &Block{Name: name}
+	p.blocks[name] = b
+	return b, nil
+}
+
+func (p *parser) endFunc() error {
+	for name, b := range p.blocks {
+		if !p.defined[b] {
+			return p.errf("branch to undefined label %q in %q", name, p.fn.Name)
+		}
+	}
+	p.fn = nil
+	p.cur = nil
+	p.blocks = nil
+	p.defined = nil
+	return nil
+}
+
+func (p *parser) reg(s string) (Reg, error) {
+	if s == "_" {
+		return NoReg, nil
+	}
+	num, ok := strings.CutPrefix(s, "r")
+	if !ok {
+		return 0, p.errf("want register, got %q", s)
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, p.errf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func (p *parser) imm(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, p.errf("want integer, got %q", s)
+	}
+	return n, nil
+}
+
+// globalRef parses `name` or `name[rN]`.
+func (p *parser) globalRef(s string) (*Global, Reg, error) {
+	idx := NoReg
+	name := s
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return nil, 0, p.errf("bad indexed global %q", s)
+		}
+		name = s[:i]
+		r, err := p.reg(s[i+1 : len(s)-1])
+		if err != nil {
+			return nil, 0, err
+		}
+		idx = r
+	}
+	g := p.prog.Global(name)
+	if g == nil {
+		return nil, 0, p.errf("unknown global %q", name)
+	}
+	return g, idx, nil
+}
+
+// instruction parses one instruction line (already trimmed, comment-free).
+func (p *parser) instruction(line string) (*Instr, error) {
+	dst := NoReg
+	rest := line
+	if eq := strings.Index(line, " = "); eq > 0 && strings.HasPrefix(line, "r") {
+		d, err := p.reg(strings.TrimSpace(line[:eq]))
+		if err != nil {
+			return nil, err
+		}
+		dst = d
+		rest = strings.TrimSpace(line[eq+3:])
+	}
+	op, args, hasArgs := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+	_ = hasArgs
+	split := func() []string {
+		if args == "" {
+			return nil
+		}
+		parts := strings.Split(args, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+
+	switch op {
+	case "const":
+		v, err := p.imm(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Const, Dst: dst, Imm: v}, nil
+	case "move":
+		a, err := p.reg(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Move, Dst: dst, A: a}, nil
+	case "load":
+		g, idx, err := p.globalRef(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Load, Dst: dst, G: g, Idx: idx}, nil
+	case "store":
+		a := split()
+		if len(a) != 2 {
+			return nil, p.errf("want 'store g[, idx], rV'")
+		}
+		g, idx, err := p.globalRef(a[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.reg(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Store, G: g, Idx: idx, A: v}, nil
+	case "loadptr":
+		a, err := p.reg(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: LoadPtr, Dst: dst, Addr: a}, nil
+	case "storeptr":
+		a := split()
+		if len(a) != 2 {
+			return nil, p.errf("want 'storeptr rAddr, rV'")
+		}
+		addr, err := p.reg(a[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.reg(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: StorePtr, Addr: addr, A: v}, nil
+	case "addrof":
+		g, idx, err := p.globalRef(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: AddrOf, Dst: dst, G: g, Idx: idx}, nil
+	case "gep":
+		a := split()
+		if len(a) != 2 {
+			return nil, p.errf("want 'gep rBase, rOff'")
+		}
+		base, err := p.reg(a[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := p.reg(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Gep, Dst: dst, A: base, B: off}, nil
+	case "alloca", "malloc":
+		v, err := p.imm(args)
+		if err != nil {
+			return nil, err
+		}
+		k := Alloca
+		if op == "malloc" {
+			k = Malloc
+		}
+		return &Instr{Kind: k, Dst: dst, Imm: v}, nil
+	case "cas":
+		a := split()
+		if len(a) != 3 {
+			return nil, p.errf("want 'cas rAddr, rOld, rNew'")
+		}
+		addr, err := p.reg(a[0])
+		if err != nil {
+			return nil, err
+		}
+		old, err := p.reg(a[1])
+		if err != nil {
+			return nil, err
+		}
+		nw, err := p.reg(a[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: CAS, Dst: dst, Addr: addr, A: old, B: nw}, nil
+	case "fetchadd":
+		a := split()
+		if len(a) != 2 {
+			return nil, p.errf("want 'fetchadd rAddr, rDelta'")
+		}
+		addr, err := p.reg(a[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.reg(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: FetchAdd, Dst: dst, Addr: addr, A: d}, nil
+	case "fence":
+		switch args {
+		case "full":
+			return &Instr{Kind: Fence, Imm: int64(FenceFull)}, nil
+		case "compiler":
+			return &Instr{Kind: Fence, Imm: int64(FenceCompiler)}, nil
+		}
+		return nil, p.errf("want 'fence full' or 'fence compiler'")
+	case "br":
+		a := split()
+		if len(a) != 3 {
+			return nil, p.errf("want 'br rC, then, else'")
+		}
+		c, err := p.reg(a[0])
+		if err != nil {
+			return nil, err
+		}
+		thenB, err := p.block(a[1])
+		if err != nil {
+			return nil, err
+		}
+		elseB, err := p.block(a[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Br, A: c, Then: thenB, Else: elseB}, nil
+	case "jmp":
+		t, err := p.block(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Jmp, Then: t}, nil
+	case "ret":
+		if args == "" {
+			return &Instr{Kind: Ret, A: NoReg}, nil
+		}
+		v, err := p.reg(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Ret, A: v}, nil
+	case "call", "spawn":
+		callee, argRegs, err := p.callExpr(args)
+		if err != nil {
+			return nil, err
+		}
+		k := Call
+		if op == "spawn" {
+			k = Spawn
+		}
+		return &Instr{Kind: k, Dst: dst, Callee: callee, Args: argRegs}, nil
+	case "join":
+		t, err := p.reg(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Join, A: t}, nil
+	case "assert":
+		c, msg, ok := strings.Cut(args, ",")
+		if !ok {
+			return nil, p.errf("want 'assert rC, \"msg\"'")
+		}
+		cr, err := p.reg(strings.TrimSpace(c))
+		if err != nil {
+			return nil, err
+		}
+		m, err := strconv.Unquote(strings.TrimSpace(msg))
+		if err != nil {
+			return nil, p.errf("bad assert message: %v", err)
+		}
+		return &Instr{Kind: Assert, A: cr, Msg: m}, nil
+	case "print":
+		v, err := p.reg(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: Print, A: v}, nil
+	default:
+		if o, ok := OpFromName(op); ok {
+			a := split()
+			if len(a) != 2 {
+				return nil, p.errf("want '%s rX, rY'", op)
+			}
+			x, err := p.reg(a[0])
+			if err != nil {
+				return nil, err
+			}
+			y, err := p.reg(a[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Instr{Kind: BinOp, Dst: dst, Op: o, A: x, B: y}, nil
+		}
+		return nil, p.errf("unknown instruction %q", op)
+	}
+}
+
+func (p *parser) callExpr(s string) (string, []Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, p.errf("want 'name(args)', got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	var regs []Reg
+	if inner != "" {
+		for _, part := range strings.Split(inner, ",") {
+			r, err := p.reg(strings.TrimSpace(part))
+			if err != nil {
+				return "", nil, err
+			}
+			regs = append(regs, r)
+		}
+	}
+	return name, regs, nil
+}

@@ -1,0 +1,207 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const mpSource = `
+program mp
+global data 1
+global flag 1 = 0
+main main
+
+func producer params=0 regs=1 {
+entry:
+  r0 = const 1
+  store data, r0
+  store flag, r0
+  ret
+}
+
+func consumer params=0 regs=4 {
+entry:
+  r0 = const 1
+  jmp spin
+spin:
+  r1 = load flag          ; the acquire read
+  r2 = ne r1, r0
+  br r2, spin, done
+done:
+  r3 = load data
+  assert r3, "data visible after flag"
+  ret
+}
+
+func main params=0 regs=2 {
+entry:
+  r0 = spawn producer()
+  r1 = spawn consumer()
+  join r0
+  join r1
+  ret
+}
+`
+
+func TestParseMP(t *testing.T) {
+	p, err := Parse(mpSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "mp" || p.Main != "main" {
+		t.Fatalf("got name=%q main=%q", p.Name, p.Main)
+	}
+	if len(p.Globals) != 2 || len(p.Funcs) != 3 {
+		t.Fatalf("got %d globals %d funcs", len(p.Globals), len(p.Funcs))
+	}
+	cons := p.Fn("consumer")
+	if len(cons.Blocks) != 3 {
+		t.Fatalf("consumer has %d blocks, want 3", len(cons.Blocks))
+	}
+	spin := cons.Blocks[1]
+	if spin.Name != "spin" {
+		t.Fatalf("second block is %q, want spin", spin.Name)
+	}
+	term := spin.Terminator()
+	if term == nil || term.Kind != Br {
+		t.Fatalf("spin terminator = %v", term)
+	}
+	if term.Then != spin {
+		t.Fatal("spin back-edge not resolved to the same block")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	orig, err := Parse(mpSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	text2 := Format(back)
+	if text != text2 {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestRoundTripAllInstructionKinds(t *testing.T) {
+	src := `
+program kinds
+global g 4
+global s 1
+
+func callee params=2 regs=3 {
+entry:
+  r2 = add r0, r1
+  ret r2
+}
+
+func f params=1 regs=20 {
+entry:
+  r1 = const -7
+  r2 = move r1
+  r3 = mul r1, r2
+  r4 = load g[r1]
+  store g[r1], r4
+  r5 = load s
+  store s, r5
+  r6 = addrof g[r1]
+  r7 = addrof s
+  r8 = gep r6, r1
+  r9 = loadptr r8
+  storeptr r8, r9
+  r10 = alloca 4
+  r11 = malloc 8
+  r12 = cas r8, r1, r2
+  r13 = fetchadd r8, r1
+  fence full
+  fence compiler
+  r14 = call callee(r1, r2)
+  call callee(r1, r2)
+  r15 = spawn callee(r1, r2)
+  join r15
+  assert r1, "odd \"quoted\" message"
+  print r1
+  br r1, more, done
+more:
+  jmp done
+done:
+  ret
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text := Format(p)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Fatal("round trip not stable")
+	}
+	// Spot-check the assert message survived quoting.
+	var found bool
+	p2.Fn("f").Instrs(func(in *Instr) {
+		if in.Kind == Assert && in.Msg == `odd "quoted" message` {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("assert message lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown directive", "program x\nbogus y\n", "unknown top-level"},
+		{"bad register", "program x\nfunc f params=0 regs=1 {\nentry:\n  rX = const 1\n  ret\n}\n", "register"},
+		{"unknown instr", "program x\nfunc f params=0 regs=1 {\nentry:\n  r0 = zorble 1\n  ret\n}\n", "unknown instruction"},
+		{"unknown global", "program x\nfunc f params=0 regs=1 {\nentry:\n  r0 = load nope\n  ret\n}\n", "unknown global"},
+		{"undefined label", "program x\nfunc f params=0 regs=1 {\nentry:\n  jmp nowhere\n}\n", "undefined label"},
+		{"duplicate label", "program x\nfunc f params=0 regs=1 {\nentry:\n  jmp entry\nentry:\n  ret\n}\n", "duplicate label"},
+		{"unterminated func", "program x\nfunc f params=0 regs=1 {\nentry:\n  ret\n", "unterminated"},
+		{"instr outside block", "program x\nfunc f params=0 regs=1 {\n  r0 = const 1\n}\n", "outside a block"},
+		{"bad fence", "program x\nfunc f params=0 regs=1 {\nentry:\n  fence sideways\n  ret\n}\n", "fence"},
+		{"validation propagates", "program x\nmain nope\n", "main function"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "program x ; trailing\n# whole-line hash comment\nglobal g 1 ; sized\nfunc f params=0 regs=1 {\nentry: \n  r0 = load g # read\n  ret\n}\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Global("g") == nil {
+		t.Fatal("global lost")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("program x\nbogus\n")
+}

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program in the textual IR syntax accepted by Parse.
+// The round trip Parse(Format(p)) reproduces p up to instruction pointer
+// identity, a property the parser tests rely on.
+func Format(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s %d", g.Name, g.Size)
+		if len(g.Init) > 0 {
+			sb.WriteString(" =")
+			for _, v := range g.Init {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if p.Main != "" {
+		fmt.Fprintf(&sb, "main %s\n", p.Main)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "\nfunc %s params=%d regs=%d {\n", f.Name, f.NParams, f.NRegs)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+			for _, in := range b.Instrs {
+				sb.WriteString("  ")
+				writeInstr(&sb, in)
+				sb.WriteByte('\n')
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func regStr(r Reg) string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func idxSuffix(r Reg) string {
+	if r == NoReg {
+		return ""
+	}
+	return "[" + regStr(r) + "]"
+}
+
+func writeInstr(sb *strings.Builder, in *Instr) {
+	switch in.Kind {
+	case Const:
+		fmt.Fprintf(sb, "%s = const %d", regStr(in.Dst), in.Imm)
+	case Move:
+		fmt.Fprintf(sb, "%s = move %s", regStr(in.Dst), regStr(in.A))
+	case BinOp:
+		fmt.Fprintf(sb, "%s = %s %s, %s", regStr(in.Dst), in.Op, regStr(in.A), regStr(in.B))
+	case Load:
+		fmt.Fprintf(sb, "%s = load %s%s", regStr(in.Dst), in.G.Name, idxSuffix(in.Idx))
+	case Store:
+		fmt.Fprintf(sb, "store %s%s, %s", in.G.Name, idxSuffix(in.Idx), regStr(in.A))
+	case LoadPtr:
+		fmt.Fprintf(sb, "%s = loadptr %s", regStr(in.Dst), regStr(in.Addr))
+	case StorePtr:
+		fmt.Fprintf(sb, "storeptr %s, %s", regStr(in.Addr), regStr(in.A))
+	case AddrOf:
+		fmt.Fprintf(sb, "%s = addrof %s%s", regStr(in.Dst), in.G.Name, idxSuffix(in.Idx))
+	case Gep:
+		fmt.Fprintf(sb, "%s = gep %s, %s", regStr(in.Dst), regStr(in.A), regStr(in.B))
+	case Alloca:
+		fmt.Fprintf(sb, "%s = alloca %d", regStr(in.Dst), in.Imm)
+	case Malloc:
+		fmt.Fprintf(sb, "%s = malloc %d", regStr(in.Dst), in.Imm)
+	case CAS:
+		fmt.Fprintf(sb, "%s = cas %s, %s, %s", regStr(in.Dst), regStr(in.Addr), regStr(in.A), regStr(in.B))
+	case FetchAdd:
+		fmt.Fprintf(sb, "%s = fetchadd %s, %s", regStr(in.Dst), regStr(in.Addr), regStr(in.A))
+	case Fence:
+		fmt.Fprintf(sb, "fence %s", FenceKind(in.Imm))
+		if in.Synthetic {
+			sb.WriteString(" ; synthetic")
+		}
+	case Br:
+		fmt.Fprintf(sb, "br %s, %s, %s", regStr(in.A), in.Then.Name, in.Else.Name)
+	case Jmp:
+		fmt.Fprintf(sb, "jmp %s", in.Then.Name)
+	case Ret:
+		if in.A == NoReg {
+			sb.WriteString("ret")
+		} else {
+			fmt.Fprintf(sb, "ret %s", regStr(in.A))
+		}
+	case Call:
+		if in.Dst != NoReg {
+			fmt.Fprintf(sb, "%s = ", regStr(in.Dst))
+		}
+		fmt.Fprintf(sb, "call %s(%s)", in.Callee, regList(in.Args))
+	case Spawn:
+		if in.Dst != NoReg {
+			fmt.Fprintf(sb, "%s = ", regStr(in.Dst))
+		}
+		fmt.Fprintf(sb, "spawn %s(%s)", in.Callee, regList(in.Args))
+	case Join:
+		fmt.Fprintf(sb, "join %s", regStr(in.A))
+	case Assert:
+		fmt.Fprintf(sb, "assert %s, %q", regStr(in.A), in.Msg)
+	case Print:
+		fmt.Fprintf(sb, "print %s", regStr(in.A))
+	default:
+		fmt.Fprintf(sb, "<invalid %s>", in.Kind)
+	}
+}
+
+func regList(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = regStr(r)
+	}
+	return strings.Join(parts, ", ")
+}

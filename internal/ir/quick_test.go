@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickBuild constructs a random valid program from a seed, exercising the
+// builder's full surface.
+func quickBuild(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	pb := NewProgram("q")
+	g := pb.Global("g", 8)
+	s := pb.Global("s", 1)
+	b := pb.Func("f", 1)
+	v := b.Move(b.Param(0))
+	n := 3 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			v = b.Add(v, b.Const(int64(rng.Intn(100))))
+		case 1:
+			b.Store(s, v)
+		case 2:
+			v = b.Load(s)
+		case 3:
+			b.StoreIdx(g, b.Mod(v, b.Const(8)), v)
+		case 4:
+			b.If(b.Gt(v, b.Const(5)), func() {
+				b.Store(s, b.Const(1))
+			})
+		case 5:
+			ptr := b.AddrOfIdx(g, b.Mod(v, b.Const(8)))
+			b.StorePtr(ptr, v)
+			v = b.LoadPtr(ptr)
+		case 6:
+			b.ForConst(0, int64(1+rng.Intn(3)), func(j Reg) {
+				b.StoreIdx(g, j, j)
+			})
+		case 7:
+			b.Fence(FenceFull)
+		}
+	}
+	b.Ret(v)
+	main := pb.Func("main", 0)
+	main.CallVoid("f", main.Const(3))
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}
+
+// TestQuickFormatParseRoundTrip: for random programs, Format -> Parse ->
+// Format is a fixed point and preserves the instruction count.
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := quickBuild(seed % 100000)
+		text := Format(p)
+		back, err := Parse(text)
+		if err != nil {
+			t.Logf("reparse error: %v", err)
+			return false
+		}
+		if back.NumInstrs() != p.NumInstrs() {
+			return false
+		}
+		return Format(back) == text
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneIsIdentical: cloning preserves the textual form and the
+// validity of random programs.
+func TestQuickCloneIsIdentical(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := quickBuild(seed % 100000)
+		c, imap, _ := p.Clone()
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		if len(imap) != p.NumInstrs() {
+			return false
+		}
+		return Format(c) == Format(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

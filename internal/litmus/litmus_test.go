@@ -1,0 +1,55 @@
+package litmus
+
+import (
+	"testing"
+
+	"fenceplace/internal/tso"
+)
+
+func TestSuiteVerdicts(t *testing.T) {
+	for _, lt := range All() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := lt.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSuiteCoversTheRelaxationSurface(t *testing.T) {
+	// Exactly one test (unfenced SB) may show a non-SC outcome under TSO:
+	// that is TSO's entire relaxation surface and the basis of the paper's
+	// w→r-only fencing policy.
+	relaxed := 0
+	for _, lt := range All() {
+		if lt.AllowedTSO && !lt.AllowedSC {
+			relaxed++
+			if lt.Name != "SB" {
+				t.Errorf("unexpected TSO-relaxed test %s", lt.Name)
+			}
+		}
+	}
+	if relaxed != 1 {
+		t.Fatalf("%d TSO-relaxed tests, want exactly 1 (SB)", relaxed)
+	}
+}
+
+func TestObservedAgreesWithExploration(t *testing.T) {
+	sbTest := All()[0]
+	got, err := sbTest.Observed(tso.TSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("SB outcome not observed under TSO")
+	}
+	got, err = sbTest.Observed(tso.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("SB outcome observed under SC")
+	}
+}

@@ -1,0 +1,185 @@
+// Package orders implements Pensieve-style ordering generation and the
+// paper's DRF pruning. Ordering generation (paper §4.3) records an ordering
+// u→v for every pair of potentially-escaping accesses in a function with a
+// control-flow path from u to v (including loop back edges and u==v inside
+// a loop). Pruning (§2.3) then deletes the orderings that Table I does not
+// require for a data-race-free program:
+//
+//	r1→r2 survives only as racq→r  (r1 must be a detected acquire)
+//	w→r   survives only as w→racq  (r must be a detected acquire)
+//	r→w and w→w always survive     (every escaping write is a release)
+package orders
+
+import (
+	"fmt"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/cfg"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+// Type classifies an ordering by the memory effects of its endpoints.
+// Read-modify-writes count as writes at the source (their store is what a
+// successor must wait for) and as reads at the destination.
+type Type uint8
+
+const (
+	RR Type = iota // read  → read
+	RW             // read  → write
+	WR             // write → read
+	WW             // write → write
+	numTypes
+)
+
+func (t Type) String() string {
+	switch t {
+	case RR:
+		return "r->r"
+	case RW:
+		return "r->w"
+	case WR:
+		return "w->r"
+	case WW:
+		return "w->w"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Types lists all ordering types in display order.
+var Types = [...]Type{RR, RW, WR, WW}
+
+// Ordering is a required program-order edge between two accesses of one
+// function.
+type Ordering struct {
+	From, To *ir.Instr
+	Type     Type
+}
+
+func classify(u, v *ir.Instr) Type {
+	srcWrite := u.WritesMem()
+	dstRead := v.ReadsMem()
+	switch {
+	case srcWrite && dstRead:
+		return WR
+	case srcWrite:
+		return WW
+	case dstRead:
+		return RR
+	default:
+		return RW
+	}
+}
+
+// isRMW reports whether the instruction is an atomic read-modify-write. On
+// x86 these execute with an implicit full barrier (LOCK prefix), so
+// orderings that start or end at one never need an extra MFENCE.
+func isRMW(in *ir.Instr) bool { return in.Kind == ir.CAS || in.Kind == ir.FetchAdd }
+
+// NeedsFullFenceTSO reports whether the ordering requires a full hardware
+// fence on x86-TSO: only w→r is hardware-reorderable, and implicitly-locked
+// RMW endpoints already enforce it (paper §4.4: "only orderings of the form
+// w→r ... as the other orderings are enforced automatically by hardware").
+func NeedsFullFenceTSO(o Ordering) bool {
+	return o.Type == WR && !isRMW(o.From) && !isRMW(o.To)
+}
+
+// Set is the per-function collection of orderings for one program.
+type Set struct {
+	Prog  *ir.Program
+	ByFn  map[*ir.Fn][]Ordering
+	count [numTypes]int
+}
+
+// Generate performs Pensieve ordering generation over every function: all
+// ordered pairs of escaping accesses connected by a CFG path.
+func Generate(p *ir.Program, esc *escape.Result) *Set {
+	s := &Set{Prog: p, ByFn: make(map[*ir.Fn][]Ordering, len(p.Funcs))}
+	for _, f := range p.Funcs {
+		accs := esc.EscapingAccesses(f)
+		if len(accs) == 0 {
+			continue
+		}
+		g := cfg.New(f)
+		var list []Ordering
+		for _, u := range accs {
+			for _, v := range accs {
+				if !g.CanFollow(u, v) {
+					continue
+				}
+				o := Ordering{From: u, To: v, Type: classify(u, v)}
+				list = append(list, o)
+				s.count[o.Type]++
+			}
+		}
+		if len(list) > 0 {
+			s.ByFn[f] = list
+		}
+	}
+	return s
+}
+
+// Prune applies the paper's DRF pruning rules using a set of detected
+// acquires, returning a new Set (the receiver is unchanged). An ordering
+// survives iff Table I requires it:
+//
+//   - its source is a detected acquire read (racq → anything), or
+//   - its destination writes (anything → wrel), or
+//   - its source writes and its destination is a detected acquire (wrel → racq).
+//
+// Everything else — data-read-sourced r→r and w→(non-acquire r) — is pruned.
+func (s *Set) Prune(acq *acquire.Result) *Set {
+	out := &Set{Prog: s.Prog, ByFn: make(map[*ir.Fn][]Ordering, len(s.ByFn))}
+	for f, list := range s.ByFn {
+		var kept []Ordering
+		for _, o := range list {
+			if keep(o, acq) {
+				kept = append(kept, o)
+				out.count[o.Type]++
+			}
+		}
+		if len(kept) > 0 {
+			out.ByFn[f] = kept
+		}
+	}
+	return out
+}
+
+func keep(o Ordering, acq *acquire.Result) bool {
+	if o.From.ReadsMem() && acq.IsSync(o.From) {
+		return true // racq → r/w (Table I, rule 2)
+	}
+	if o.To.WritesMem() {
+		return true // r/w → wrel (Table I, rule 1; all writes are releases)
+	}
+	// Destination is a pure read.
+	if o.From.WritesMem() {
+		return acq.IsSync(o.To) // wrel → racq (Table I, rule 3)
+	}
+	return false // data read → data read
+}
+
+// Count returns the number of orderings of the given type.
+func (s *Set) Count(t Type) int { return s.count[t] }
+
+// Total returns the number of orderings across all types.
+func (s *Set) Total() int {
+	n := 0
+	for _, c := range s.count {
+		n += c
+	}
+	return n
+}
+
+// CountFull returns how many orderings need a full fence on x86-TSO.
+func (s *Set) CountFull() int {
+	n := 0
+	for _, list := range s.ByFn {
+		for _, o := range list {
+			if NeedsFullFenceTSO(o) {
+				n++
+			}
+		}
+	}
+	return n
+}

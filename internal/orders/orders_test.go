@@ -1,0 +1,259 @@
+package orders
+
+import (
+	"testing"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+func prep(t *testing.T, p *ir.Program) (*escape.Result, *alias.Analysis) {
+	t.Helper()
+	al := alias.Analyze(p)
+	return escape.Analyze(p, al), al
+}
+
+func TestStraightLineAllPairs(t *testing.T) {
+	// w(x) r(y) w(z): escaping accesses in one block generate all 3 forward
+	// pairs: w->r, w->w, r->w.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)
+	z := pb.Global("z", 1)
+	b := pb.Func("f", 0)
+	b.Store(x, b.Const(1))
+	v := b.Load(y)
+	b.Store(z, v)
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, _ := prep(t, p)
+	s := Generate(p, esc)
+	if s.Total() != 3 {
+		t.Fatalf("total orderings = %d, want 3", s.Total())
+	}
+	if s.Count(WR) != 1 || s.Count(WW) != 1 || s.Count(RW) != 1 || s.Count(RR) != 0 {
+		t.Fatalf("counts rr=%d rw=%d wr=%d ww=%d, want 0/1/1/1",
+			s.Count(RR), s.Count(RW), s.Count(WR), s.Count(WW))
+	}
+}
+
+func TestLoopSelfOrdering(t *testing.T) {
+	// A single escaping access inside a loop orders with itself via the
+	// back edge.
+	pb := ir.NewProgram("p")
+	x := pb.Global("x", 1)
+	b := pb.Func("f", 0)
+	b.ForConst(0, 4, func(i ir.Reg) {
+		b.Store(x, i)
+	})
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, _ := prep(t, p)
+	s := Generate(p, esc)
+	f := p.Fn("f")
+	foundSelf := false
+	for _, o := range s.ByFn[f] {
+		if o.From == o.To {
+			foundSelf = true
+			if o.Type != WW {
+				t.Errorf("self ordering type = %s, want w->w", o.Type)
+			}
+		}
+	}
+	if !foundSelf {
+		t.Error("loop store must order with itself")
+	}
+}
+
+func TestNonEscapingAccessesIgnored(t *testing.T) {
+	pb := ir.NewProgram("p")
+	b := pb.Func("f", 0)
+	buf := b.Alloca(2)
+	b.StorePtr(buf, b.Const(1))
+	v := b.LoadPtr(buf)
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, _ := prep(t, p)
+	s := Generate(p, esc)
+	if s.Total() != 0 {
+		t.Fatalf("local-only function generated %d orderings", s.Total())
+	}
+}
+
+func TestClassifyRMW(t *testing.T) {
+	// CAS acts as write at the source and read at the destination.
+	pb := ir.NewProgram("p")
+	l := pb.Global("l", 1)
+	x := pb.Global("x", 1)
+	b := pb.Func("f", 0)
+	pl := b.AddrOf(l)
+	ok := b.CAS(pl, b.Const(0), b.Const(1)) // RMW access
+	_ = ok
+	v := b.Load(x) // read after RMW
+	_ = v
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, _ := prep(t, p)
+	s := Generate(p, esc)
+	f := p.Fn("f")
+	var casToLoad *Ordering
+	for i, o := range s.ByFn[f] {
+		if o.From.Kind == ir.CAS && o.To.Kind == ir.Load {
+			casToLoad = &s.ByFn[f][i]
+		}
+	}
+	if casToLoad == nil {
+		t.Fatal("cas->load ordering missing")
+	}
+	if casToLoad.Type != WR {
+		t.Fatalf("cas->load type = %s, want w->r", casToLoad.Type)
+	}
+	if NeedsFullFenceTSO(*casToLoad) {
+		t.Error("locked RMW source must not need an extra full fence on TSO")
+	}
+}
+
+func TestNeedsFullFenceTSO(t *testing.T) {
+	mk := func(fk, tk ir.Kind) Ordering {
+		f := &ir.Instr{Kind: fk}
+		to := &ir.Instr{Kind: tk}
+		return Ordering{From: f, To: to, Type: classify(f, to)}
+	}
+	if !NeedsFullFenceTSO(mk(ir.Store, ir.Load)) {
+		t.Error("plain w->r needs a full fence")
+	}
+	for _, o := range []Ordering{
+		mk(ir.Load, ir.Load), mk(ir.Load, ir.Store), mk(ir.Store, ir.Store),
+		mk(ir.CAS, ir.Load), mk(ir.Store, ir.FetchAdd),
+	} {
+		if NeedsFullFenceTSO(o) {
+			t.Errorf("%s (%s->%s) must not need a full fence on TSO", o.Type, o.From.Kind, o.To.Kind)
+		}
+	}
+}
+
+// mpProgram builds MP with an acquire spin so pruning has something real to
+// chew on; returns the program plus its flag/data loads.
+func mpProgram(t *testing.T) *ir.Program {
+	pb := ir.NewProgram("mp")
+	data := pb.Global("data", 1)
+	flag := pb.Global("flag", 1)
+	sink := pb.Global("sink", 1)
+	prod := pb.Func("producer", 0)
+	one := prod.Const(1)
+	prod.Store(data, one)
+	prod.Store(flag, one)
+	prod.RetVoid()
+	cons := pb.Func("consumer", 0)
+	one2 := cons.Const(1)
+	cons.SpinWhileNe(flag, ir.NoReg, one2)
+	v := cons.Load(data)
+	cons.Store(sink, v)
+	cons.RetVoid()
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("producer")
+	t2 := main.Spawn("consumer")
+	main.Join(t1)
+	main.Join(t2)
+	main.RetVoid()
+	pb.SetMain("main")
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPruneRules(t *testing.T) {
+	p := mpProgram(t)
+	al := alias.Analyze(p)
+	esc := escape.Analyze(p, al)
+	full := Generate(p, esc)
+	acq := acquire.Detect(p, al, esc, acquire.Control)
+	pruned := full.Prune(acq)
+
+	if pruned.Total() > full.Total() {
+		t.Fatal("pruning increased ordering count")
+	}
+	// Producer has w(data)->w(flag): kept (to-write).
+	prod := p.Fn("producer")
+	if got := len(pruned.ByFn[prod]); got != len(full.ByFn[prod]) {
+		t.Errorf("producer w->w orderings must all survive: %d vs %d", got, len(full.ByFn[prod]))
+	}
+	// Consumer: flag load is the acquire. Orderings from the acquire
+	// survive; data-read -> data-read (load data -> nothing here) and
+	// racq->r survive; but r(data)->r would be pruned if present.
+	cons := p.Fn("consumer")
+	for _, o := range pruned.ByFn[cons] {
+		if o.Type == RR && !acq.IsSync(o.From) {
+			t.Errorf("surviving r->r with non-acquire source: %s -> %s", o.From, o.To)
+		}
+		if o.Type == WR && !acq.IsSync(o.To) && !acq.IsSync(o.From) {
+			t.Errorf("surviving w->r with non-acquire destination: %s -> %s", o.From, o.To)
+		}
+	}
+	// The acquire->data-read ordering must survive.
+	foundAcqData := false
+	for _, o := range pruned.ByFn[cons] {
+		if acq.IsSync(o.From) && o.To.Kind == ir.Load && o.To.G.Name == "data" {
+			foundAcqData = true
+		}
+	}
+	if !foundAcqData {
+		t.Error("racq -> r(data) ordering pruned but required")
+	}
+}
+
+func TestPruneWithNoAcquiresKeepsOnlyWriteSinks(t *testing.T) {
+	// With an empty acquire set, every surviving ordering must end in a
+	// write (release rule): all →r edges are pruned.
+	p := mpProgram(t)
+	al := alias.Analyze(p)
+	esc := escape.Analyze(p, al)
+	full := Generate(p, esc)
+	// An acquire result computed over a program with no functions flags
+	// nothing, i.e. it is the empty acquire set.
+	emptyProg := ir.NewProgram("empty").MustBuild()
+	empty := acquire.Detect(emptyProg, alias.Analyze(emptyProg), escape.Analyze(emptyProg, alias.Analyze(emptyProg)), acquire.Control)
+	pruned := full.Prune(empty)
+	if pruned.Count(RR) != 0 || pruned.Count(WR) != 0 {
+		t.Fatalf("empty acquire set left rr=%d wr=%d orderings", pruned.Count(RR), pruned.Count(WR))
+	}
+	if pruned.Count(RW) != full.Count(RW) || pruned.Count(WW) != full.Count(WW) {
+		t.Fatal("pruning must not touch →w orderings")
+	}
+	for _, f := range p.Funcs {
+		for _, o := range pruned.ByFn[f] {
+			if !o.To.WritesMem() {
+				t.Errorf("survivor does not end in a write: %s [%s -> %s]", o.Type, o.From, o.To)
+			}
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	want := map[Type]string{RR: "r->r", RW: "r->w", WR: "w->r", WW: "w->w"}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, ty.String(), s)
+		}
+	}
+	if len(Types) != int(numTypes) {
+		t.Error("Types list out of sync")
+	}
+}

@@ -1,0 +1,110 @@
+package orders
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+// quickProgram builds a small random single-function program from a seed:
+// global loads/stores, arithmetic, branches and loops.
+func quickProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	pb := ir.NewProgram("q")
+	gs := []*ir.Global{pb.Global("a", 1), pb.Global("b", 4), pb.Global("c", 1)}
+	b := pb.Func("f", 0)
+	vals := []ir.Reg{b.Const(int64(rng.Intn(10)))}
+	n := 4 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		g := gs[rng.Intn(len(gs))]
+		v := vals[rng.Intn(len(vals))]
+		switch rng.Intn(5) {
+		case 0:
+			vals = append(vals, b.Load(g))
+		case 1:
+			b.Store(g, v)
+		case 2:
+			vals = append(vals, b.Add(v, vals[rng.Intn(len(vals))]))
+		case 3:
+			b.If(b.Gt(v, b.Const(2)), func() {
+				b.Store(gs[rng.Intn(len(gs))], v)
+			})
+		case 4:
+			b.ForConst(0, int64(1+rng.Intn(3)), func(j ir.Reg) {
+				vals = append(vals, b.Load(gs[rng.Intn(len(gs))]))
+			})
+		}
+	}
+	b.RetVoid()
+	return pb.MustBuild()
+}
+
+// TestQuickPruneInvariants checks, over random programs (testing/quick
+// supplies the seeds), the core pruning invariants: pruning is a
+// subset-producing, idempotent operation that never touches →w orderings
+// and never drops an acquire-sourced ordering.
+func TestQuickPruneInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := quickProgram(seed % 100000)
+		al := alias.Analyze(p)
+		esc := escape.Analyze(p, al)
+		full := Generate(p, esc)
+		acq := acquire.Detect(p, al, esc, acquire.Control)
+		pruned := full.Prune(acq)
+
+		if pruned.Total() > full.Total() {
+			return false
+		}
+		// Idempotence.
+		again := pruned.Prune(acq)
+		if again.Total() != pruned.Total() {
+			return false
+		}
+		// →w orderings untouched; acquire-sourced orderings kept.
+		if pruned.Count(RW) != full.Count(RW) || pruned.Count(WW) != full.Count(WW) {
+			return false
+		}
+		keptSet := map[[2]*ir.Instr]bool{}
+		for _, f := range p.Funcs {
+			for _, o := range pruned.ByFn[f] {
+				keptSet[[2]*ir.Instr{o.From, o.To}] = true
+			}
+		}
+		for _, f := range p.Funcs {
+			for _, o := range full.ByFn[f] {
+				mustKeep := (o.From.ReadsMem() && acq.IsSync(o.From)) || o.To.WritesMem()
+				if mustKeep && !keptSet[[2]*ir.Instr{o.From, o.To}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGenerateMatchesCanFollow checks that ordering generation agrees
+// with a direct quadratic recomputation over random programs.
+func TestQuickGenerateMatchesCanFollow(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := quickProgram(seed % 100000)
+		al := alias.Analyze(p)
+		esc := escape.Analyze(p, al)
+		s := Generate(p, esc)
+		total := 0
+		for _, f := range p.Funcs {
+			total += len(s.ByFn[f])
+		}
+		return total == s.Total()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

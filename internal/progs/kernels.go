@@ -1,0 +1,692 @@
+package progs
+
+import "fenceplace/internal/ir"
+
+// The nine synchronization primitives of the paper's Table II. Each is a
+// small self-checking program: the expected signature classification
+// (address / control / pure-address) is recorded in Meta.Table2 and checked
+// by the Table II experiment. Acquires obtained through CAS loops match the
+// control signature (the CAS result feeds the retry branch) and, where the
+// loaded value is dereferenced or used as an index, the address signature
+// too — which is exactly the paper's observation that no primitive has a
+// pure-address acquire.
+
+func init() {
+	register(&Meta{
+		Name: "chaselev", Kind: SyncKernel,
+		Source: "Chase & Lev, SPAA'05",
+		Desc:   "dynamic circular work-stealing deque; owner pops, thief steals",
+		Table2: &Table2Row{Addr: true, Ctrl: true},
+		Build:  buildChaseLev, Defaults: Params{Threads: 2, Size: 24},
+		ManualFences: 1, NeedsWRFence: true,
+	})
+	register(&Meta{
+		Name: "cilk5", Kind: SyncKernel,
+		Source: "Frigo, Leiserson & Randall, PLDI'98",
+		Desc:   "Cilk-5 THE protocol: victim/thief handshake over head and tail",
+		Table2: &Table2Row{Addr: false, Ctrl: true},
+		Build:  buildCilk5, Defaults: Params{Threads: 2, Size: 24},
+		ManualFences: 2, NeedsWRFence: true,
+	})
+	register(&Meta{
+		Name: "clh", Kind: SyncKernel,
+		Source: "Craig, TR 93-02-02",
+		Desc:   "CLH queue lock: spin on the predecessor's node",
+		Table2: &Table2Row{Addr: true, Ctrl: true},
+		Build:  buildCLH, Defaults: Params{Threads: 3, Size: 16},
+	})
+	register(&Meta{
+		Name: "dekker", Kind: SyncKernel,
+		Source: "Dijkstra, CACM 1965",
+		Desc:   "Dekker's mutual exclusion for two threads",
+		Table2: &Table2Row{Addr: false, Ctrl: true},
+		Build:  buildDekker, Defaults: Params{Threads: 2, Size: 40},
+		ManualFences: 2, NeedsWRFence: true,
+	})
+	register(&Meta{
+		Name: "lamport", Kind: SyncKernel,
+		Source: "Lamport, TOCS 1987",
+		Desc:   "Lamport's fast mutual exclusion (two contenders)",
+		Table2: &Table2Row{Addr: false, Ctrl: true},
+		Build:  buildLamport, Defaults: Params{Threads: 2, Size: 40},
+		ManualFences: 2, NeedsWRFence: true,
+	})
+	register(&Meta{
+		Name: "mcs", Kind: SyncKernel,
+		Source: "Mellor-Crummey & Scott, TOCS 1991",
+		Desc:   "MCS queue lock: spin on own node, hand off via next pointer",
+		Table2: &Table2Row{Addr: true, Ctrl: true},
+		Build:  buildMCS, Defaults: Params{Threads: 3, Size: 16},
+	})
+	register(&Meta{
+		Name: "msqueue", Kind: SyncKernel,
+		Source: "Michael & Scott, PODC'96",
+		Desc:   "two-lock-free FIFO queue: CAS on head, tail and next links",
+		Table2: &Table2Row{Addr: true, Ctrl: true},
+		Build:  buildMSQueue, Defaults: Params{Threads: 4, Size: 12},
+	})
+	register(&Meta{
+		Name: "peterson", Kind: SyncKernel,
+		Source: "Peterson, IPL 1981",
+		Desc:   "Peterson's two-thread mutual exclusion",
+		Table2: &Table2Row{Addr: false, Ctrl: true},
+		Build:  buildPeterson, Defaults: Params{Threads: 2, Size: 40},
+		ManualFences: 1, NeedsWRFence: true,
+	})
+	register(&Meta{
+		Name: "szymanski", Kind: SyncKernel,
+		Source: "Szymanski, ICS'88",
+		Desc:   "Szymanski's waiting-room mutual exclusion (two threads)",
+		Table2: &Table2Row{Addr: false, Ctrl: true},
+		Build:  buildSzymanski, Defaults: Params{Threads: 2, Size: 30},
+		ManualFences: 4, NeedsWRFence: true,
+	})
+}
+
+// --- Dekker -----------------------------------------------------------------
+
+func buildDekker(p Params) *ir.Program {
+	pb := ir.NewProgram("dekker")
+	flag := pb.Global("flag", 2)
+	turn := pb.Global("turn", 1)
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	zero := w.Const(0)
+	other := w.Sub(one, me)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		w.StoreIdx(flag, me, one)
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.While(func() ir.Reg {
+			return w.Eq(w.LoadIdx(flag, other), one)
+		}, func() {
+			w.If(w.Ne(w.Load(turn), me), func() {
+				w.StoreIdx(flag, me, zero)
+				w.SpinWhileNe(turn, ir.NoReg, me)
+				w.StoreIdx(flag, me, one)
+				if p.Manual {
+					w.Fence(ir.FenceFull)
+				}
+			})
+		})
+		w.Store(ctr, w.Add(w.Load(ctr), one)) // critical section
+		w.Store(turn, other)
+		w.StoreIdx(flag, me, zero)
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", 2, func(b *ir.FB) {
+		assertEq(b, ctr, 2*p.Size, "dekker: no lost increments in the critical section")
+	})
+	return pb.MustBuild()
+}
+
+// --- Peterson ---------------------------------------------------------------
+
+func buildPeterson(p Params) *ir.Program {
+	pb := ir.NewProgram("peterson")
+	flag := pb.Global("flag", 2)
+	turn := pb.Global("turn", 1)
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	zero := w.Const(0)
+	other := w.Sub(one, me)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		w.StoreIdx(flag, me, one)
+		w.Store(turn, other)
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.While(func() ir.Reg {
+			fo := w.LoadIdx(flag, other)
+			tu := w.Load(turn)
+			return w.And(w.Eq(fo, one), w.Eq(tu, other))
+		}, func() {})
+		w.Store(ctr, w.Add(w.Load(ctr), one))
+		w.StoreIdx(flag, me, zero)
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", 2, func(b *ir.FB) {
+		assertEq(b, ctr, 2*p.Size, "peterson: no lost increments in the critical section")
+	})
+	return pb.MustBuild()
+}
+
+// --- Lamport's fast mutex ---------------------------------------------------
+
+func buildLamport(p Params) *ir.Program {
+	pb := ir.NewProgram("lamport")
+	x := pb.Global("x", 1)
+	y := pb.Global("y", 1)  // 0 = free
+	bb := pb.Global("b", 3) // 1-indexed contender flags
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	id := w.Add(w.Param(0), w.Const(1)) // ids 1..2
+	one := w.Const(1)
+	zero := w.Const(0)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		start := w.NewBlock("start")
+		cs := w.NewBlock("cs")
+		w.Jmp(start)
+		w.StartBlock(start)
+		w.StoreIdx(bb, id, one)
+		w.Store(x, id)
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.If(w.Ne(w.Load(y), zero), func() {
+			w.StoreIdx(bb, id, zero)
+			w.SpinWhileNe(y, ir.NoReg, zero)
+			w.Jmp(start)
+		})
+		w.Store(y, id)
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.If(w.Ne(w.Load(x), id), func() {
+			w.StoreIdx(bb, id, zero)
+			w.ForConst(1, 3, func(j ir.Reg) {
+				w.SpinWhileNe(bb, j, zero)
+			})
+			w.If(w.Ne(w.Load(y), id), func() {
+				w.SpinWhileNe(y, ir.NoReg, zero)
+				w.Jmp(start)
+			})
+		})
+		w.Jmp(cs)
+		w.StartBlock(cs)
+		w.Store(ctr, w.Add(w.Load(ctr), one))
+		w.Store(y, zero)
+		w.StoreIdx(bb, id, zero)
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", 2, func(b *ir.FB) {
+		assertEq(b, ctr, 2*p.Size, "lamport: no lost increments in the critical section")
+	})
+	return pb.MustBuild()
+}
+
+// --- Szymanski --------------------------------------------------------------
+
+func buildSzymanski(p Params) *ir.Program {
+	pb := ir.NewProgram("szymanski")
+	flag := pb.Global("flag", 2)
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	other := w.Sub(one, me)
+	two := w.Const(2)
+	three := w.Const(3)
+	four := w.Const(4)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		// Entry: stand outside the waiting room.
+		w.StoreIdx(flag, me, one)
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		// Wait for the door to be open (other not in 3 or 4... entering).
+		w.While(func() ir.Reg {
+			return w.Ge(w.LoadIdx(flag, other), three)
+		}, func() {})
+		w.StoreIdx(flag, me, three) // doorway
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.If(w.Eq(w.LoadIdx(flag, other), one), func() {
+			w.StoreIdx(flag, me, two) // wait for the other to enter
+			if p.Manual {
+				w.Fence(ir.FenceFull)
+			}
+			w.SpinWhileNe(flag, other, four)
+		})
+		w.StoreIdx(flag, me, four) // close the door
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		// Lower-id threads leave first: thread 1 waits for thread 0.
+		w.If(w.Eq(w.Param(0), w.Const(1)), func() {
+			w.While(func() ir.Reg {
+				return w.Ge(w.LoadIdx(flag, w.Const(0)), two)
+			}, func() {})
+		})
+		w.Store(ctr, w.Add(w.Load(ctr), one)) // critical section
+		// Exit: thread 0 makes sure thread 1 noticed the closed door.
+		w.If(w.Eq(w.Param(0), w.Const(0)), func() {
+			w.While(func() ir.Reg {
+				f := w.LoadIdx(flag, w.Const(1))
+				return w.And(w.Ge(f, two), w.Le(f, three))
+			}, func() {})
+		})
+		w.StoreIdx(flag, me, w.Const(0))
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", 2, func(b *ir.FB) {
+		assertEq(b, ctr, 2*p.Size, "szymanski: no lost increments in the critical section")
+	})
+	return pb.MustBuild()
+}
+
+// --- CLH queue lock ----------------------------------------------------------
+
+func buildCLH(p Params) *ir.Program {
+	nt := int64(p.Threads)
+	pb := ir.NewProgram("clh")
+	tail := pb.Global("tail", 1)
+	dummy := pb.Global("dummy", 1) // initial unlocked node
+	nodes := pb.Global("nodes", int(nt))
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	zero := w.Const(0)
+	myNode := w.Move(w.AddrOfIdx(nodes, me))
+	pred := w.Move(zero)
+	ptail := w.AddrOf(tail)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		w.StorePtr(myNode, one) // locked = 1
+		// pred = swap(tail, myNode), via CAS retry.
+		w.DoWhile(func() ir.Reg {
+			t := w.Load(tail)
+			w.MoveTo(pred, t)
+			ok := w.CAS(ptail, t, myNode)
+			return w.Eq(ok, zero)
+		})
+		// Spin on the predecessor's node.
+		w.While(func() ir.Reg {
+			return w.Ne(w.LoadPtr(pred), zero)
+		}, func() {})
+		w.Store(ctr, w.Add(w.Load(ctr), one)) // critical section
+		w.StorePtr(myNode, zero)              // release
+		w.MoveTo(myNode, pred)                // recycle the predecessor's node
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", p.Threads, func(b *ir.FB) {
+		assertEq(b, ctr, nt*p.Size, "clh: no lost increments under the lock")
+	})
+	// main must initialize tail before spawning: rebuild main with init.
+	mainFn := pb.Func("boot", 0)
+	mainFn.Store(tail, mainFn.AddrOf(dummy))
+	mainFn.CallVoid("main")
+	mainFn.RetVoid()
+	pb.SetMain("boot")
+	return pb.MustBuild()
+}
+
+// --- MCS queue lock ----------------------------------------------------------
+
+func buildMCS(p Params) *ir.Program {
+	nt := int64(p.Threads)
+	pb := ir.NewProgram("mcs")
+	tail := pb.Global("tail", 1)           // 0 = free
+	nodes := pb.Global("nodes", int(2*nt)) // [locked, next] per thread
+	ctr := pb.Global("ctr", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	zero := w.Const(0)
+	node := w.AddrOfIdx(nodes, w.MulImm(me, 2))
+	nextP := w.Gep(node, one)
+	ptail := w.AddrOf(tail)
+	w.ForConst(0, p.Size, func(i ir.Reg) {
+		w.StorePtr(nextP, zero)
+		w.StorePtr(node, one) // locked = 1
+		// pred = swap(tail, node)
+		pred := w.Move(zero)
+		w.DoWhile(func() ir.Reg {
+			t := w.Load(tail)
+			w.MoveTo(pred, t)
+			ok := w.CAS(ptail, t, node)
+			return w.Eq(ok, zero)
+		})
+		w.If(w.Ne(pred, zero), func() {
+			w.StorePtr(w.Gep(pred, one), node) // pred->next = node
+			w.While(func() ir.Reg {            // spin on own locked flag
+				return w.Ne(w.LoadPtr(node), zero)
+			}, func() {})
+		})
+		w.Store(ctr, w.Add(w.Load(ctr), one)) // critical section
+		// Release.
+		next := w.Move(w.LoadPtr(nextP))
+		w.IfElse(w.Eq(next, zero), func() {
+			ok := w.CAS(ptail, node, zero)
+			w.If(w.Eq(ok, zero), func() {
+				// A successor is linking itself in; wait for it.
+				w.DoWhile(func() ir.Reg {
+					n2 := w.LoadPtr(nextP)
+					w.MoveTo(next, n2)
+					return w.Eq(n2, zero)
+				})
+				w.StorePtr(next, zero) // next->locked = 0
+			})
+		}, func() {
+			w.StorePtr(next, zero)
+		})
+	})
+	w.RetVoid()
+	spawnWorkers(pb, "worker", p.Threads, func(b *ir.FB) {
+		assertEq(b, ctr, nt*p.Size, "mcs: no lost increments under the lock")
+	})
+	return pb.MustBuild()
+}
+
+// --- Michael-Scott queue ------------------------------------------------------
+
+func buildMSQueue(p Params) *ir.Program {
+	producers := p.Threads / 2
+	consumers := p.Threads - producers
+	perProducer := p.Size
+	total := int64(producers) * perProducer
+	perConsumer := total / int64(consumers)
+	rem := total - perConsumer*int64(consumers)
+
+	pb := ir.NewProgram("msqueue")
+	qhead := pb.Global("qhead", 1)
+	qtail := pb.Global("qtail", 1)
+	sums := pb.Global("sums", consumers)
+	counts := pb.Global("counts", consumers)
+
+	prod := pb.Func("producer", 1)
+	me := prod.Param(0)
+	one := prod.Const(1)
+	zero := prod.Const(0)
+	ptail := prod.AddrOf(qtail)
+	prod.ForConst(0, perProducer, func(i ir.Reg) {
+		v := prod.Add(prod.MulImm(me, perProducer), i)
+		n := prod.Malloc(2) // [value, next=0]
+		prod.StorePtr(n, v)
+		t := prod.Move(zero)
+		prod.DoWhile(func() ir.Reg {
+			tv := prod.Load(qtail)
+			prod.MoveTo(t, tv)
+			nxt := prod.LoadPtr(prod.Gep(tv, one))
+			again := prod.Move(one)
+			prod.IfElse(prod.Eq(nxt, zero), func() {
+				ok := prod.CAS(prod.Gep(tv, one), zero, n)
+				prod.MoveTo(again, prod.Eq(ok, zero))
+			}, func() {
+				prod.CAS(ptail, tv, nxt) // help swing tail
+			})
+			return again
+		})
+		prod.CAS(ptail, t, n)
+	})
+	prod.RetVoid()
+
+	cons := pb.Func("consumer", 1)
+	cme := cons.Param(0)
+	cone := cons.Const(1)
+	czero := cons.Const(0)
+	phead := cons.AddrOf(qhead)
+	cptail := cons.AddrOf(qtail)
+	// Consumer 0 takes the remainder.
+	want := cons.Move(cons.Const(perConsumer))
+	cons.If(cons.Eq(cme, czero), func() {
+		cons.MoveTo(want, cons.AddImm(want, rem))
+	})
+	got := cons.Move(czero)
+	sum := cons.Move(czero)
+	cons.While(func() ir.Reg { return cons.Lt(got, want) }, func() {
+		h := cons.Load(qhead)
+		t := cons.Load(qtail)
+		nxt := cons.LoadPtr(cons.Gep(h, cone))
+		cons.IfElse(cons.Eq(h, t), func() {
+			cons.If(cons.Ne(nxt, czero), func() {
+				cons.CAS(cptail, t, nxt) // help
+			})
+			// empty: retry
+		}, func() {
+			cons.If(cons.Ne(nxt, czero), func() {
+				v := cons.LoadPtr(nxt)
+				ok := cons.CAS(phead, h, nxt)
+				cons.If(cons.Eq(ok, cone), func() {
+					cons.MoveTo(sum, cons.Add(sum, v))
+					cons.MoveTo(got, cons.Add(got, cone))
+				})
+			})
+		})
+	})
+	cons.StoreIdx(sums, cme, sum)
+	cons.StoreIdx(counts, cme, got)
+	cons.RetVoid()
+
+	main := pb.Func("main", 0)
+	dummy := main.Malloc(2)
+	main.Store(qhead, dummy)
+	main.Store(qtail, dummy)
+	var tids []ir.Reg
+	for i := 0; i < producers; i++ {
+		tids = append(tids, main.Spawn("producer", main.Const(int64(i))))
+	}
+	for i := 0; i < consumers; i++ {
+		tids = append(tids, main.Spawn("consumer", main.Const(int64(i))))
+	}
+	for _, tid := range tids {
+		main.Join(tid)
+	}
+	// Sum of all dequeued values must equal sum of 0..total-1; count must
+	// equal total: nothing lost, nothing duplicated.
+	totalSum := main.Move(main.Const(0))
+	totalCount := main.Move(main.Const(0))
+	main.ForConst(0, int64(consumers), func(i ir.Reg) {
+		totalSum = mAdd(main, totalSum, main.LoadIdx(sums, i))
+		totalCount = mAdd(main, totalCount, main.LoadIdx(counts, i))
+	})
+	main.Assert(main.Eq(totalCount, main.Const(total)), "msqueue: every enqueued item dequeued exactly once")
+	main.Assert(main.Eq(totalSum, main.Const(total*(total-1)/2)), "msqueue: dequeued values intact")
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}
+
+// mAdd accumulates into a fresh register and returns it (builder sugar).
+func mAdd(b *ir.FB, acc, v ir.Reg) ir.Reg {
+	b.MoveTo(acc, b.Add(acc, v))
+	return acc
+}
+
+// --- Chase-Lev work-stealing deque --------------------------------------------
+
+func buildChaseLev(p Params) *ir.Program {
+	n := p.Size
+	size := int64(64)
+	for size < n+2 {
+		size *= 2
+	}
+	pb := ir.NewProgram("chaselev")
+	top := pb.Global("top", 1)
+	bottom := pb.Global("bottom", 1)
+	buf := pb.Global("buf", int(size))
+	popped := pb.Global("popped", 1)
+	stolen := pb.Global("stolen", 1)
+	ownerDone := pb.Global("ownerDone", 1)
+
+	mask := size - 1
+
+	owner := pb.Func("owner", 1)
+	one := owner.Const(1)
+	zero := owner.Const(0)
+	maskR := owner.Const(mask)
+	ptop := owner.AddrOf(top)
+	// Push n tasks.
+	owner.ForConst(0, n, func(i ir.Reg) {
+		b := owner.Load(bottom)
+		owner.StoreIdx(buf, owner.And(b, maskR), i)
+		owner.Store(bottom, owner.Add(b, one))
+	})
+	// Pop until empty.
+	count := owner.Move(zero)
+	empty := owner.Move(zero)
+	owner.While(func() ir.Reg { return owner.Eq(empty, zero) }, func() {
+		b := owner.Sub(owner.Load(bottom), one)
+		owner.Store(bottom, b)
+		if p.Manual {
+			owner.Fence(ir.FenceFull) // the Chase-Lev w→r fence
+		}
+		t := owner.Load(top)
+		owner.IfElse(owner.Gt(t, b), func() {
+			// Deque exhausted.
+			owner.Store(bottom, t)
+			owner.MoveTo(empty, one)
+		}, func() {
+			v := owner.LoadIdx(buf, owner.And(b, maskR))
+			_ = v
+			owner.IfElse(owner.Eq(t, b), func() {
+				// Last element: race a thief for it.
+				ok := owner.CAS(ptop, t, owner.Add(t, one))
+				owner.If(owner.Eq(ok, one), func() {
+					owner.MoveTo(count, owner.Add(count, one))
+				})
+				owner.Store(bottom, owner.Add(t, one))
+				owner.MoveTo(empty, one)
+			}, func() {
+				owner.MoveTo(count, owner.Add(count, one))
+			})
+		})
+	})
+	owner.Store(popped, count)
+	owner.Store(ownerDone, one)
+	owner.RetVoid()
+
+	thief := pb.Func("thief", 1)
+	tone := thief.Const(1)
+	tzero := thief.Const(0)
+	tmask := thief.Const(mask)
+	tptop := thief.AddrOf(top)
+	tcount := thief.Move(tzero)
+	thief.While(func() ir.Reg {
+		// Keep stealing until the owner is done AND the deque is empty.
+		done := thief.Load(ownerDone)
+		t := thief.Load(top)
+		b := thief.Load(bottom)
+		return thief.Or(thief.Eq(done, tzero), thief.Lt(t, b))
+	}, func() {
+		t := thief.Load(top)
+		b := thief.Load(bottom)
+		thief.If(thief.Lt(t, b), func() {
+			v := thief.LoadIdx(buf, thief.And(t, tmask))
+			_ = v
+			ok := thief.CAS(tptop, t, thief.Add(t, tone))
+			thief.If(thief.Eq(ok, tone), func() {
+				thief.MoveTo(tcount, thief.Add(tcount, tone))
+			})
+		})
+	})
+	thief.Store(stolen, tcount)
+	thief.RetVoid()
+
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("owner", main.Const(0))
+	t2 := main.Spawn("thief", main.Const(1))
+	main.Join(t1)
+	main.Join(t2)
+	tot := main.Add(main.Load(popped), main.Load(stolen))
+	main.Assert(main.Eq(tot, main.Const(n)), "chaselev: every task taken exactly once")
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}
+
+// --- Cilk-5 THE protocol --------------------------------------------------------
+
+func buildCilk5(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("cilk5")
+	hG := pb.Global("H", 1)
+	tG := pb.Global("T", 1)
+	lock := pb.Global("L", 1)
+	popped := pb.Global("popped", 1)
+	stolen := pb.Global("stolen", 1)
+	ownerDone := pb.Global("ownerDone", 1)
+
+	// The victim: pushes n frames, then pops with the THE fast path. The
+	// frame index lives in a register (the victim owns T), so no escaping
+	// read feeds an address — Table II's Cilk-5 row: control only.
+	v := pb.Func("victim", 1)
+	one := v.Const(1)
+	zero := v.Const(0)
+	tLocal := v.Move(zero)
+	v.ForConst(0, n, func(i ir.Reg) { // push n frames
+		v.MoveTo(tLocal, v.Add(tLocal, one))
+		v.Store(tG, tLocal)
+	})
+	count := v.Move(zero)
+	emptyFlag := v.Move(zero)
+	v.While(func() ir.Reg { return v.Eq(emptyFlag, zero) }, func() {
+		v.MoveTo(tLocal, v.Sub(tLocal, one)) // T--
+		v.Store(tG, tLocal)
+		if p.Manual {
+			v.Fence(ir.FenceFull) // THE: store T must precede load H
+		}
+		h := v.Load(hG)
+		v.IfElse(v.Gt(h, tLocal), func() {
+			// Conflict: restore and retry under the lock.
+			v.MoveTo(tLocal, v.Add(tLocal, one))
+			v.Store(tG, tLocal)
+			lockAcquire(v, lock)
+			h2 := v.Load(hG)
+			v.IfElse(v.Ge(h2, tLocal), func() {
+				v.MoveTo(emptyFlag, one) // deque exhausted
+			}, func() {
+				v.MoveTo(tLocal, v.Sub(tLocal, one))
+				v.Store(tG, tLocal)
+				v.MoveTo(count, v.Add(count, one))
+			})
+			lockRelease(v, lock)
+		}, func() {
+			v.MoveTo(count, v.Add(count, one))
+		})
+	})
+	v.Store(popped, count)
+	v.Store(ownerDone, one)
+	v.RetVoid()
+
+	// The thief steals from the head under the lock.
+	th := pb.Func("thief", 1)
+	tone := th.Const(1)
+	tzero := th.Const(0)
+	tcount := th.Move(tzero)
+	th.While(func() ir.Reg {
+		done := th.Load(ownerDone)
+		h := th.Load(hG)
+		t := th.Load(tG)
+		return th.Or(th.Eq(done, tzero), th.Lt(h, t))
+	}, func() {
+		lockAcquire(th, lock)
+		h := th.Load(hG)
+		th.Store(hG, th.Add(h, tone)) // H++
+		if p.Manual {
+			th.Fence(ir.FenceFull) // THE: store H must precede load T
+		}
+		t := th.Load(tG)
+		th.IfElse(th.Ge(h, t), func() {
+			th.Store(hG, h) // restore: nothing to steal
+		}, func() {
+			th.MoveTo(tcount, th.Add(tcount, tone))
+		})
+		lockRelease(th, lock)
+	})
+	th.Store(stolen, tcount)
+	th.RetVoid()
+
+	main := pb.Func("main", 0)
+	t1 := main.Spawn("victim", main.Const(0))
+	t2 := main.Spawn("thief", main.Const(1))
+	main.Join(t1)
+	main.Join(t2)
+	tot := main.Add(main.Load(popped), main.Load(stolen))
+	main.Assert(main.Eq(tot, main.Const(n)), "cilk5: every frame taken exactly once")
+	main.RetVoid()
+	pb.SetMain("main")
+	return pb.MustBuild()
+}

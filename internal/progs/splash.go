@@ -1,0 +1,933 @@
+package progs
+
+import (
+	"fmt"
+
+	"fenceplace/internal/ir"
+)
+
+// Fourteen SPLASH-2-like programs. Each mirrors the synchronization idioms
+// and the data-access *shape* of its namesake — that is all the static
+// analyses observe — rather than its numerics:
+//
+//   - arithmetic phases: escaping reads feeding only computation (neither
+//     acquire signature matches — the prunable bulk);
+//   - branchy phases: escaping reads feeding comparisons (they inflate the
+//     Control acquire count, e.g. Raytrace's traversal tests);
+//   - indirect phases: escaping reads used as indices (they inflate the
+//     Address+Control count, e.g. Radix's rank permutation);
+//   - pointer phases: loaded pointers that get dereferenced (Barnes' tree
+//     walk, Ocean-noncontiguous's row pointers);
+//   - synchronization: sense-reversing barriers, CAS spin locks, and the
+//     ad-hoc flag synchronization the paper singles out in FMM and Volrend.
+
+// splashMeta registers a SPLASH-like program with common defaults.
+func splashMeta(name, desc string, manual int, build func(Params) *ir.Program) {
+	register(&Meta{
+		Name: name, Kind: Splash,
+		Source: "Woo et al., ISCA'95 (SPLASH-2)", Desc: desc,
+		ManualFences: manual,
+		Build:        build,
+		Defaults:     Params{Threads: 4, Size: 16},
+	})
+}
+
+func init() {
+	splashMeta("barnes", "octree N-body: pointer-chasing force walk, per-cell locks, barriers", 0, buildBarnes)
+	splashMeta("cholesky", "sparse factorization: lock-protected task queue, column supernodes", 0, buildCholesky)
+	splashMeta("fft", "radix-√n six-step FFT: bit-reverse permutation and transpose, barriers", 0, buildFFT)
+	// Paper: 6 expert fences for FMM's six ad-hoc flag sites; our synthetic
+	// FMM has one flag site, hence one expert fence.
+	splashMeta("fmm", "fast multipole: ad-hoc flag synchronization between tree passes", 1, buildFMM)
+	splashMeta("lu-con", "dense blocked LU, contiguous blocks: owner map, barriers", 0, buildLUCon)
+	splashMeta("lu-noncon", "dense blocked LU, non-contiguous rows through a pointer table", 0, buildLUNoncon)
+	splashMeta("ocean-con", "red-black SOR on contiguous grids: stencil sweeps, convergence test", 0, buildOceanCon)
+	splashMeta("ocean-noncon", "SOR with row-pointer grids: every row access chases a pointer", 0, buildOceanNoncon)
+	splashMeta("radiosity", "hierarchical radiosity: task queue with visibility-test branches", 0, buildRadiosity)
+	splashMeta("radix", "radix sort: histogram, prefix, and rank-driven permutation", 0, buildRadix)
+	splashMeta("raytrace", "ray tracer: BVH traversal branches on loaded bounds, work queue", 0, buildRaytrace)
+	splashMeta("volrend", "volume renderer: octree offset lookups, ad-hoc barrier flags", 2, buildVolrend)
+	splashMeta("water-nsq", "Water-NSquared: O(n²) pairwise force arithmetic, molecule locks", 0, buildWaterNSq)
+	splashMeta("water-sp", "Water-Spatial: cell lists, mostly straight arithmetic per cell", 0, buildWaterSp)
+}
+
+// chunk emits the [lo,hi) range of thread me over size elements.
+func chunk(b *ir.FB, me ir.Reg, threads int, size int64) (lo, hi ir.Reg) {
+	per := size / int64(threads)
+	lo = b.Mul(me, b.Const(per))
+	hi = b.Add(lo, b.Const(per))
+	return lo, hi
+}
+
+// phaseArith: dst[i] = src[i]*3 + 1 — reads feed only arithmetic.
+func phaseArith(b *ir.FB, src, dst *ir.Global, lo, hi ir.Reg) {
+	b.For(lo, hi, func(i ir.Reg) {
+		v := b.LoadIdx(src, i)
+		b.StoreIdx(dst, i, b.AddImm(b.MulImm(v, 3), 1))
+	})
+}
+
+// phaseBranchy: dst[i] = max(src[i], cap) — the read feeds a branch.
+func phaseBranchy(b *ir.FB, src, dst *ir.Global, lo, hi ir.Reg, cap int64) {
+	b.For(lo, hi, func(i ir.Reg) {
+		v := b.LoadIdx(src, i)
+		b.IfElse(b.Gt(v, b.Const(cap)), func() {
+			b.StoreIdx(dst, i, b.Const(cap))
+		}, func() {
+			b.StoreIdx(dst, i, v)
+		})
+	})
+}
+
+// phaseIndirect: dst[i] = src[perm[i]] — the perm read feeds an address.
+func phaseIndirect(b *ir.FB, perm, src, dst *ir.Global, lo, hi ir.Reg) {
+	b.For(lo, hi, func(i ir.Reg) {
+		j := b.LoadIdx(perm, i)
+		b.StoreIdx(dst, i, b.LoadIdx(src, j))
+	})
+}
+
+// phaseScatter: dst[perm[i]] = src[i] — address-feeding on the store side.
+func phaseScatter(b *ir.FB, perm, src, dst *ir.Global, lo, hi ir.Reg) {
+	b.For(lo, hi, func(i ir.Reg) {
+		j := b.LoadIdx(perm, i)
+		b.StoreIdx(dst, j, b.LoadIdx(src, i))
+	})
+}
+
+// dilute appends the data mix that dominates the real codes' read counts:
+// k pure-arithmetic read sites (reads feeding only computation — matching
+// neither acquire signature), g gather pairs (an index read feeding an
+// address plus a pure data read), and c two-level pointer chases (two
+// address-feeding reads plus a pure read). All results flow into a private
+// aux array that nothing branches on, so these reads stay out of every
+// backward slice rooted at a predicate. idx may be nil, in which case a
+// fresh (zero-filled — still in-bounds) index table is declared.
+func dilute(pb *ir.ProgBuilder, w *ir.FB, tag string, src, idx *ir.Global, lo, hi ir.Reg, n int64, k, g, c int) {
+	aux := pb.Global(tag+"_aux", int(n))
+	if idx == nil && (g > 0 || c > 0) {
+		idx = pb.Global(tag+"_idx", int(n))
+	}
+	nR := w.Const(n)
+	w.For(lo, hi, func(i ir.Reg) {
+		acc := w.Move(w.Const(0))
+		for j := 0; j < k; j++ { // unrolled multi-point arithmetic
+			at := w.Mod(w.AddImm(i, int64(j)), nR)
+			w.MoveTo(acc, w.Add(acc, w.LoadIdx(src, at)))
+		}
+		for j := 0; j < g; j++ { // gathers: index read + data read
+			at := w.Mod(w.AddImm(i, int64(j)), nR)
+			jv := w.LoadIdx(idx, at)
+			w.MoveTo(acc, w.Add(acc, w.LoadIdx(src, jv)))
+		}
+		for j := 0; j < c; j++ { // chases: index read -> index read -> data
+			at := w.Mod(w.AddImm(i, int64(j)), nR)
+			j1 := w.LoadIdx(idx, at)
+			j2 := w.LoadIdx(idx, j1)
+			w.MoveTo(acc, w.Add(acc, w.LoadIdx(src, j2)))
+		}
+		w.StoreIdx(aux, i, acc)
+	})
+}
+
+// lockedAdd: lock-protected global accumulation (SPLASH reduction idiom).
+func lockedAdd(b *ir.FB, lock, sum *ir.Global, v ir.Reg) {
+	lockAcquire(b, lock)
+	b.Store(sum, b.Add(b.Load(sum), v))
+	lockRelease(b, lock)
+}
+
+// initRamp fills g with lo, lo+step, ... from the main thread.
+func initRamp(b *ir.FB, g *ir.Global, n, lo, step int64) {
+	b.ForConst(0, n, func(i ir.Reg) {
+		b.StoreIdx(g, i, b.Add(b.Const(lo), b.MulImm(i, step)))
+	})
+}
+
+// initPerm fills g with a fixed permutation of 0..n-1 (reversal — a valid
+// permutation that differs from identity everywhere for even n).
+func initPerm(b *ir.FB, g *ir.Global, n int64) {
+	b.ForConst(0, n, func(i ir.Reg) {
+		b.StoreIdx(g, i, b.Sub(b.Const(n-1), i))
+	})
+}
+
+// splashMain wraps spawnWorkers with the conventional init function.
+func splashMain(pb *ir.ProgBuilder, threads int, initFn func(b *ir.FB), check func(b *ir.FB)) {
+	b := pb.Func("main", 0)
+	if initFn != nil {
+		initFn(b)
+	}
+	tids := make([]ir.Reg, threads)
+	for i := 0; i < threads; i++ {
+		tids[i] = b.Spawn("worker", b.Const(int64(i)))
+	}
+	for _, tid := range tids {
+		b.Join(tid)
+	}
+	if check != nil {
+		check(b)
+	}
+	b.RetVoid()
+	pb.SetMain("main")
+}
+
+// --- Barnes ------------------------------------------------------------------
+
+func buildBarnes(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("barnes")
+	// A fixed binary tree in parallel arrays: child pointers are *word
+	// addresses* of other nodes, so the walk is genuine pointer chasing.
+	mass := pb.Global("mass", int(n))
+	left := pb.Global("left", int(n)) // address of left child's mass cell
+	right := pb.Global("right", int(n))
+	force := pb.Global("force", int(n))
+	celllock := pb.Global("celllock", 1)
+	total := pb.Global("total", 1)
+	bar := newBarrier(pb, "bar")
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	lo, hi := chunk(w, me, p.Threads, n)
+	// Pass 1: local mass update (arithmetic).
+	phaseArith(w, mass, force, lo, hi)
+	bar.wait(w, sense, int64(p.Threads))
+	// Pass 2: walk two levels of the tree per body (pointer derefs with a
+	// cutoff branch, like the opening-angle test).
+	acc := w.Move(w.Const(0))
+	w.For(lo, hi, func(i ir.Reg) {
+		l := w.LoadIdx(left, i) // pointer-valued load
+		r := w.LoadIdx(right, i)
+		lv := w.LoadPtr(l)
+		rv := w.LoadPtr(r)
+		w.IfElse(w.Gt(lv, rv), func() { // opening-angle-style test
+			w.MoveTo(acc, w.Add(acc, lv))
+		}, func() {
+			w.MoveTo(acc, w.Add(acc, rv))
+		})
+	})
+	lockedAdd(w, celllock, total, acc)
+	bar.wait(w, sense, int64(p.Threads))
+	dilute(pb, w, "barnes", mass, nil, lo, hi, n, 2, 6, 5)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, mass, n, 1, 1)
+		// left[i] = &mass[(i+1) mod n], right[i] = &mass[(i+2) mod n].
+		b.ForConst(0, n, func(i ir.Reg) {
+			li := b.Mod(b.AddImm(i, 1), b.Const(n))
+			ri := b.Mod(b.AddImm(i, 2), b.Const(n))
+			b.StoreIdx(left, i, b.AddrOfIdx(mass, li))
+			b.StoreIdx(right, i, b.AddrOfIdx(mass, ri))
+		})
+	}, func(b *ir.FB) {
+		// Each body contributes max(mass[(i+1)%n], mass[(i+2)%n]) =
+		// mass[(i+2)%n] except where the ramp wraps; just require > 0.
+		v := b.Load(total)
+		b.Assert(b.Gt(v, b.Const(0)), "barnes: force accumulation happened")
+	})
+	return pb.MustBuild()
+}
+
+// --- Cholesky ------------------------------------------------------------------
+
+func buildCholesky(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("cholesky")
+	colptr := pb.Global("colptr", int(n)) // start index per supernode
+	a := pb.Global("a", int(n*2))
+	out := pb.Global("out", int(n*2))
+	tasklock := pb.Global("tasklock", 1)
+	nexttask := pb.Global("nexttask", 1)
+	done := pb.Global("done", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	stop := w.Move(w.Const(0))
+	w.While(func() ir.Reg { return w.Eq(stop, w.Const(0)) }, func() {
+		// Pull a column task from the lock-protected queue.
+		lockAcquire(w, tasklock)
+		t := w.Load(nexttask)
+		w.Store(nexttask, w.Add(t, one))
+		lockRelease(w, tasklock)
+		w.IfElse(w.Ge(t, w.Const(n)), func() {
+			w.MoveTo(stop, one)
+		}, func() {
+			// Column start comes from the loaded column pointer: indirect.
+			start := w.LoadIdx(colptr, t)
+			v0 := w.LoadIdx(a, start)
+			v1 := w.LoadIdx(a, w.AddImm(start, 1))
+			w.StoreIdx(out, start, w.Add(v0, v1))
+			w.StoreIdx(out, w.AddImm(start, 1), w.Mul(v0, v1))
+			pd := w.AddrOf(done)
+			w.FetchAdd(pd, one)
+		})
+	})
+	dlo, dhi := chunk(w, me, p.Threads, n)
+	dilute(pb, w, "chol", a, nil, dlo, dhi, n, 1, 3, 4)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, a, n*2, 2, 1)
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(colptr, i, b.MulImm(i, 2))
+		})
+	}, func(b *ir.FB) {
+		assertEq(b, done, n, "cholesky: every supernode factored exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// --- FFT ------------------------------------------------------------------------
+
+func buildFFT(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("fft")
+	data := pb.Global("data", int(n))
+	scratch := pb.Global("scratch", int(n))
+	rev := pb.Global("rev", int(n)) // bit-reverse table
+	bar := newBarrier(pb, "bar")
+	checks := pb.Global("checks", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	lo, hi := chunk(w, me, p.Threads, n)
+	// Stage 1: butterfly-style arithmetic.
+	phaseArith(w, data, scratch, lo, hi)
+	bar.wait(w, sense, int64(p.Threads))
+	// Stage 2: bit-reverse permutation — loaded index drives the address.
+	phaseIndirect(w, rev, scratch, data, lo, hi)
+	bar.wait(w, sense, int64(p.Threads))
+	// Stage 3: transpose-like pass (arithmetic again).
+	phaseArith(w, data, scratch, lo, hi)
+	bar.wait(w, sense, int64(p.Threads))
+	dilute(pb, w, "fft", scratch, rev, lo, hi, n, 1, 4, 5)
+	pd := w.AddrOf(checks)
+	w.FetchAdd(pd, w.Const(1))
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, data, n, 0, 1)
+		initPerm(b, rev, n)
+	}, func(b *ir.FB) {
+		assertEq(b, checks, int64(p.Threads), "fft: all workers completed all stages")
+		// data[0] after stage2 = scratch[rev[0]] = scratch[n-1] = 3(n-1)+1.
+		v := b.LoadIdx(data, b.Const(0))
+		b.Assert(b.Eq(v, b.Const(3*(n-1)+1)), "fft: permutation applied the bit-reverse table")
+	})
+	return pb.MustBuild()
+}
+
+// --- FMM -------------------------------------------------------------------------
+
+func buildFMM(p Params) *ir.Program {
+	n := p.Size
+	nt := int64(p.Threads)
+	pb := ir.NewProgram("fmm")
+	multipole := pb.Global("multipole", int(n))
+	local := pb.Global("localexp", int(n))
+	ilist := pb.Global("ilist", int(n))    // interaction list: indices
+	ready := pb.Global("ready", p.Threads) // ad-hoc per-thread flags
+	sums := pb.Global("sums", p.Threads)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	lo, hi := chunk(w, me, p.Threads, n)
+	// Upward pass: compute multipoles for my cells.
+	phaseArith(w, local, multipole, lo, hi)
+	if p.Manual {
+		w.Fence(ir.FenceFull)
+	}
+	flagSet(w, ready, me, 1) // publish: my multipoles are ready
+	// Ad-hoc sync (the paper's FMM idiom): wait for my neighbor's flag.
+	neighbor := w.Mod(w.AddImm(me, 1), w.Const(nt))
+	flagWait(w, ready, neighbor, 1)
+	// Downward pass: gather my neighbor's multipoles through the
+	// interaction list (indirect indices).
+	acc := w.Move(w.Const(0))
+	w.For(lo, hi, func(i ir.Reg) {
+		j := w.LoadIdx(ilist, i)
+		v := w.LoadIdx(multipole, j)
+		w.IfElse(w.Gt(v, w.Const(50)), func() { // well-separated test
+			w.MoveTo(acc, w.Add(acc, w.Const(1)))
+		}, func() {
+			w.MoveTo(acc, w.Add(acc, v))
+		})
+	})
+	w.StoreIdx(sums, me, acc)
+	dilute(pb, w, "fmm", local, ilist, lo, hi, n, 2, 4, 3)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, local, n, 1, 1)
+		initPerm(b, ilist, n)
+	}, func(b *ir.FB) {
+		total := b.Move(b.Const(0))
+		b.ForConst(0, nt, func(i ir.Reg) {
+			total = mAdd(b, total, b.LoadIdx(sums, i))
+		})
+		b.Assert(b.Gt(total, b.Const(0)), "fmm: downward pass accumulated interactions")
+	})
+	return pb.MustBuild()
+}
+
+// --- LU (contiguous) ---------------------------------------------------------------
+
+func buildLUCon(p Params) *ir.Program {
+	n := p.Size // matrix is n x n blocks flattened
+	pb := ir.NewProgram("lu-con")
+	blocks := pb.Global("blocks", int(n*n))
+	owner := pb.Global("owner", int(n)) // block-column owner map
+	bar := newBarrier(pb, "bar")
+	steps := pb.Global("steps", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	one := w.Const(1)
+	// For each diagonal step k: the owner factors column k, then everyone
+	// updates their own blocks (owner map read feeds a branch).
+	w.ForConst(0, n, func(k ir.Reg) {
+		ow := w.LoadIdx(owner, k)
+		w.If(w.Eq(ow, me), func() {
+			base := w.Mul(k, w.Const(n))
+			diag := w.LoadIdx(blocks, w.Add(base, k))
+			w.StoreIdx(blocks, w.Add(base, k), w.AddImm(diag, 1))
+			pd := w.AddrOf(steps)
+			w.FetchAdd(pd, one)
+		})
+		bar.wait(w, sense, int64(p.Threads))
+		// Trailing update on my chunk of row k (pure arithmetic).
+		lo, hi := chunk(w, me, p.Threads, n)
+		base := w.Mul(k, w.Const(n))
+		w.For(lo, hi, func(j ir.Reg) {
+			v := w.LoadIdx(blocks, w.Add(base, j))
+			w.StoreIdx(blocks, w.Add(base, j), w.AddImm(v, 1))
+		})
+		bar.wait(w, sense, int64(p.Threads))
+	})
+	dlo, dhi := chunk(w, me, p.Threads, n)
+	dilute(pb, w, "lu", blocks, nil, dlo, dhi, n, 4, 3, 6)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(owner, i, b.Mod(i, b.Const(int64(p.Threads))))
+		})
+	}, func(b *ir.FB) {
+		assertEq(b, steps, n, "lu-con: every diagonal factored exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// --- LU (non-contiguous) -------------------------------------------------------------
+
+func buildLUNoncon(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("lu-noncon")
+	storage := pb.Global("storage", int(n*n))
+	rowptr := pb.Global("rowptr", int(n)) // address of each row
+	owner := pb.Global("owner", int(n))
+	bar := newBarrier(pb, "bar")
+	steps := pb.Global("steps", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	one := w.Const(1)
+	w.ForConst(0, n, func(k ir.Reg) {
+		ow := w.LoadIdx(owner, k)
+		w.If(w.Eq(ow, me), func() {
+			rp := w.LoadIdx(rowptr, k) // row base pointer: address acquire shape
+			cell := w.Gep(rp, k)
+			w.StorePtr(cell, w.AddImm(w.LoadPtr(cell), 1))
+			pd := w.AddrOf(steps)
+			w.FetchAdd(pd, one)
+		})
+		bar.wait(w, sense, int64(p.Threads))
+		lo, hi := chunk(w, me, p.Threads, n)
+		rp := w.LoadIdx(rowptr, k)
+		w.For(lo, hi, func(j ir.Reg) {
+			cell := w.Gep(rp, j)
+			w.StorePtr(cell, w.AddImm(w.LoadPtr(cell), 1))
+		})
+		bar.wait(w, sense, int64(p.Threads))
+	})
+	dlo, dhi := chunk(w, me, p.Threads, n)
+	dilute(pb, w, "lun", storage, nil, dlo, dhi, n, 2, 4, 4)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(owner, i, b.Mod(i, b.Const(int64(p.Threads))))
+			b.StoreIdx(rowptr, i, b.AddrOfIdx(storage, b.Mul(i, b.Const(n))))
+		})
+	}, func(b *ir.FB) {
+		assertEq(b, steps, n, "lu-noncon: every diagonal factored exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// --- Ocean (contiguous) ----------------------------------------------------------------
+
+func buildOceanCon(p Params) *ir.Program {
+	n := p.Size
+	iters := int64(3)
+	pb := ir.NewProgram("ocean-con")
+	grid := pb.Global("grid", int(n))
+	next := pb.Global("next", int(n))
+	errG := pb.Global("err", 1)
+	errLock := pb.Global("errlock", 1)
+	bar := newBarrier(pb, "bar")
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	lo, hi := chunk(w, me, p.Threads, n)
+	w.ForConst(0, iters, func(it ir.Reg) {
+		// Stencil sweep: next[i] = (grid[i-1]+grid[i]+grid[i+1])/3 on the
+		// interior (arithmetic reads), plus a local error estimate whose
+		// loaded values feed a branch (the convergence test).
+		localErr := w.Move(w.Const(0))
+		w.For(lo, hi, func(i ir.Reg) {
+			inBounds := w.And(w.Gt(i, w.Const(0)), w.Lt(i, w.Const(n-1)))
+			w.IfElse(inBounds, func() {
+				s := w.Add(w.LoadIdx(grid, w.AddImm(i, -1)),
+					w.Add(w.LoadIdx(grid, i), w.LoadIdx(grid, w.AddImm(i, 1))))
+				nv := w.Div(s, w.Const(3))
+				w.StoreIdx(next, i, nv)
+				old := w.LoadIdx(grid, i)
+				// |nv-old| branchless (mask trick), as the compiled code
+				// would do: the residual is tested in the driver, not here.
+				diff := w.Sub(nv, old)
+				mask := w.Bin(ir.OpShr, diff, w.Const(63))
+				abs := w.Sub(w.Xor(diff, mask), mask)
+				w.MoveTo(localErr, w.Add(localErr, abs))
+			}, func() {
+				w.StoreIdx(next, i, w.LoadIdx(grid, i))
+			})
+		})
+		lockedAdd(w, errLock, errG, localErr)
+		bar.wait(w, sense, int64(p.Threads))
+		// Copy back (arithmetic).
+		w.For(lo, hi, func(i ir.Reg) {
+			w.StoreIdx(grid, i, w.LoadIdx(next, i))
+		})
+		bar.wait(w, sense, int64(p.Threads))
+	})
+	dilute(pb, w, "ocean", grid, nil, lo, hi, n, 5, 3, 2)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		// Non-linear initial field so the smoother has a nonzero residual.
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(grid, i, b.Mod(b.Mul(i, i), b.Const(97)))
+		})
+	}, func(b *ir.FB) {
+		v := b.Load(errG)
+		b.Assert(b.Gt(v, b.Const(0)), "ocean-con: smoothing reduced a nonzero residual")
+	})
+	return pb.MustBuild()
+}
+
+// --- Ocean (non-contiguous) ----------------------------------------------------------
+
+func buildOceanNoncon(p Params) *ir.Program {
+	rows := p.Size / 4
+	if rows < 2 {
+		rows = 2
+	}
+	cols := int64(4)
+	pb := ir.NewProgram("ocean-noncon")
+	storage := pb.Global("storage", int(rows*cols))
+	rowptr := pb.Global("rowptr", int(rows))
+	bar := newBarrier(pb, "bar")
+	sum := pb.Global("sum", 1)
+	sumLock := pb.Global("sumlock", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	lo, hi := chunk(w, me, p.Threads, rows)
+	// Sweep my rows: every access goes through the row-pointer table.
+	acc := w.Move(w.Const(0))
+	w.For(lo, hi, func(r ir.Reg) {
+		rp := w.LoadIdx(rowptr, r) // loaded pointer drives all addresses
+		w.ForConst(0, cols, func(cIdx ir.Reg) {
+			cell := w.Gep(rp, cIdx)
+			v := w.LoadPtr(cell)
+			w.StorePtr(cell, w.AddImm(v, 1))
+			w.MoveTo(acc, w.Add(acc, v))
+		})
+	})
+	lockedAdd(w, sumLock, sum, acc)
+	bar.wait(w, sense, int64(p.Threads))
+	dilute(pb, w, "oceann", storage, nil, lo, hi, rows, 1, 3, 4)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, storage, rows*cols, 1, 1)
+		b.ForConst(0, rows, func(r ir.Reg) {
+			b.StoreIdx(rowptr, r, b.AddrOfIdx(storage, b.Mul(r, b.Const(cols))))
+		})
+	}, func(b *ir.FB) {
+		// Sum of the initial ramp 1..rows*cols.
+		total := rows * cols * (rows*cols + 1) / 2
+		assertEq(b, sum, total, "ocean-noncon: all cells visited exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// --- Radiosity --------------------------------------------------------------------
+
+func buildRadiosity(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("radiosity")
+	patch := pb.Global("patch", int(n))
+	vis := pb.Global("vis", int(n))
+	radio := pb.Global("radio", int(n))
+	tasklock := pb.Global("tasklock", 1)
+	nexttask := pb.Global("nexttask", 1)
+	donecnt := pb.Global("donecnt", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	stop := w.Move(w.Const(0))
+	w.While(func() ir.Reg { return w.Eq(stop, w.Const(0)) }, func() {
+		lockAcquire(w, tasklock)
+		t := w.Load(nexttask)
+		w.Store(nexttask, w.Add(t, one))
+		lockRelease(w, tasklock)
+		w.IfElse(w.Ge(t, w.Const(n)), func() {
+			w.MoveTo(stop, one)
+		}, func() {
+			// Visibility test: three loaded values feed branches.
+			v := w.LoadIdx(vis, t)
+			e := w.LoadIdx(patch, t)
+			w.IfElse(w.Gt(v, w.Const(0)), func() {
+				w.IfElse(w.Gt(e, w.Const(8)), func() {
+					w.StoreIdx(radio, t, w.Add(e, v))
+				}, func() {
+					w.StoreIdx(radio, t, v)
+				})
+			}, func() {
+				w.StoreIdx(radio, t, w.Const(0))
+			})
+			pd := w.AddrOf(donecnt)
+			w.FetchAdd(pd, one)
+		})
+	})
+	dlo, dhi := chunk(w, me, p.Threads, n)
+	dilute(pb, w, "radio", patch, nil, dlo, dhi, n, 3, 2, 4)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, patch, n, 1, 1)
+		initRamp(b, vis, n, 1, 2)
+	}, func(b *ir.FB) {
+		assertEq(b, donecnt, n, "radiosity: every patch task executed exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// --- Radix ----------------------------------------------------------------------
+
+func buildRadix(p Params) *ir.Program {
+	n := p.Size
+	buckets := int64(4)
+	pb := ir.NewProgram("radix")
+	keys := pb.Global("keys", int(n))
+	hist := pb.Global("hist", int(buckets))
+	prefix := pb.Global("prefix", int(buckets))
+	cursor := pb.Global("cursor", int(buckets))
+	sorted := pb.Global("sorted", int(n))
+	bar := newBarrier(pb, "bar")
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	one := w.Const(1)
+	lo, hi := chunk(w, me, p.Threads, n)
+	// Histogram: the loaded key selects the bucket — address-feeding.
+	w.For(lo, hi, func(i ir.Reg) {
+		k := w.LoadIdx(keys, i)
+		d := w.Mod(k, w.Const(buckets))
+		ph := w.AddrOfIdx(hist, d)
+		w.FetchAdd(ph, one)
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	// Thread 0 computes the prefix sums.
+	w.If(w.Eq(me, w.Const(0)), func() {
+		acc := w.Move(w.Const(0))
+		w.ForConst(0, buckets, func(bIdx ir.Reg) {
+			w.StoreIdx(prefix, bIdx, acc)
+			w.StoreIdx(cursor, bIdx, acc)
+			w.MoveTo(acc, w.Add(acc, w.LoadIdx(hist, bIdx)))
+		})
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	// Permutation: rank (from fetchadd on the loaded bucket cursor) drives
+	// the destination address.
+	w.For(lo, hi, func(i ir.Reg) {
+		k := w.LoadIdx(keys, i)
+		d := w.Mod(k, w.Const(buckets))
+		pc := w.AddrOfIdx(cursor, d)
+		rank := w.FetchAdd(pc, one)
+		w.StoreIdx(sorted, rank, k)
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	// Back-permutation of the sorted keys (scatter through loaded ranks).
+	unsorted := pb.Global("unsorted", int(n))
+	phaseScatter(w, keys, sorted, unsorted, lo, hi)
+	dilute(pb, w, "radix", keys, keys, lo, hi, n, 4, 3, 1)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		// keys[i] = (i*7+3) mod n — fixed pseudo-random keys.
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(keys, i, b.Mod(b.AddImm(b.MulImm(i, 7), 3), b.Const(n)))
+		})
+	}, func(b *ir.FB) {
+		// Every slot of sorted was written: digits are grouped, so the sum
+		// of sorted equals the sum of keys.
+		sumS := b.Move(b.Const(0))
+		sumK := b.Move(b.Const(0))
+		b.ForConst(0, n, func(i ir.Reg) {
+			sumS = mAdd(b, sumS, b.LoadIdx(sorted, i))
+			sumK = mAdd(b, sumK, b.LoadIdx(keys, i))
+		})
+		b.Assert(b.Eq(sumS, sumK), "radix: permutation preserved the key multiset")
+	})
+	return pb.MustBuild()
+}
+
+// --- Raytrace --------------------------------------------------------------------
+
+func buildRaytrace(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("raytrace")
+	bounds := pb.Global("bounds", int(n*2)) // BVH-ish: [min, max] per node
+	kids := pb.Global("kids", int(n))       // child index per node
+	image := pb.Global("image", int(n))
+	rays := pb.Global("rays", 1) // work counter: next ray to trace
+	hits := pb.Global("hits", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	prays := w.AddrOf(rays)
+	phits := w.AddrOf(hits)
+	stop := w.Move(w.Const(0))
+	w.While(func() ir.Reg { return w.Eq(stop, w.Const(0)) }, func() {
+		r := w.FetchAdd(prays, one) // grab the next ray
+		w.IfElse(w.Ge(r, w.Const(n)), func() {
+			w.MoveTo(stop, one)
+		}, func() {
+			// Traverse two BVH levels: every loaded bound feeds a branch,
+			// every loaded child index feeds an address.
+			mn := w.LoadIdx(bounds, w.MulImm(r, 2))
+			mx := w.LoadIdx(bounds, w.AddImm(w.MulImm(r, 2), 1))
+			w.IfElse(w.And(w.Le(mn, r), w.Lt(r, mx)), func() {
+				child := w.LoadIdx(kids, r)
+				cmn := w.LoadIdx(bounds, w.MulImm(child, 2))
+				w.IfElse(w.Le(cmn, r), func() {
+					w.StoreIdx(image, r, w.AddImm(child, 1))
+					w.FetchAdd(phits, one)
+				}, func() {
+					w.StoreIdx(image, r, w.Const(0))
+				})
+			}, func() {
+				w.StoreIdx(image, r, w.Const(0))
+			})
+		})
+	})
+	dlo, dhi := chunk(w, me, p.Threads, n)
+	// Shadow-feeler pass over the (read-only) bounds: more traversal-style
+	// branches on loaded data, raytrace's signature access pattern.
+	tone := pb.Global("tone", int(n))
+	phaseBranchy(w, bounds, tone, dlo, dhi, n/2)
+	dilute(pb, w, "ray", bounds, kids, dlo, dhi, n, 2, 2, 0)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		b.ForConst(0, n, func(i ir.Reg) {
+			b.StoreIdx(bounds, b.MulImm(i, 2), b.Const(0))              // min = 0
+			b.StoreIdx(bounds, b.AddImm(b.MulImm(i, 2), 1), b.Const(n)) // max = n
+			b.StoreIdx(kids, i, b.Mod(b.AddImm(i, 1), b.Const(n)))
+		})
+	}, func(b *ir.FB) {
+		assertEq(b, hits, n, "raytrace: every ray hit its child node")
+	})
+	return pb.MustBuild()
+}
+
+// --- Volrend --------------------------------------------------------------------
+
+func buildVolrend(p Params) *ir.Program {
+	n := p.Size
+	nt := int64(p.Threads)
+	pb := ir.NewProgram("volrend")
+	voxel := pb.Global("voxel", int(n))
+	octree := pb.Global("octree", int(n)) // offset table into voxel
+	pixel := pb.Global("pixel", int(n))
+	arrived := pb.Global("arrived", 1) // the ad-hoc barrier the paper fences
+	phase := pb.Global("phase", 1)
+	opaque := pb.Global("opaque", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	one := w.Const(1)
+	lo, hi := chunk(w, me, p.Threads, n)
+	// Phase 1: classify voxels (branch on loaded opacity).
+	localOpq := w.Move(w.Const(0))
+	w.For(lo, hi, func(i ir.Reg) {
+		v := w.LoadIdx(voxel, i)
+		w.If(w.Gt(v, w.Const(10)), func() {
+			w.MoveTo(localOpq, w.Add(localOpq, one))
+		})
+	})
+	pq := w.AddrOf(opaque)
+	w.FetchAdd(pq, localOpq)
+	// Ad-hoc barrier (Volrend's hand-rolled one): count arrivals, last one
+	// bumps the phase; everyone spins on the phase word.
+	pa := w.AddrOf(arrived)
+	pos := w.FetchAdd(pa, one)
+	w.IfElse(w.Eq(pos, w.Const(nt-1)), func() {
+		w.Store(arrived, w.Const(0))
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		w.Store(phase, one)
+	}, func() {
+		if p.Manual {
+			w.Fence(ir.FenceFull)
+		}
+		flagWait(w, phase, ir.NoReg, 1)
+	})
+	// Phase 2: render through the octree offset table (indirect).
+	phaseIndirect(w, octree, voxel, pixel, lo, hi)
+	dilute(pb, w, "vol", voxel, octree, lo, hi, n, 2, 3, 3)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, voxel, n, 1, 3)
+		initPerm(b, octree, n)
+	}, func(b *ir.FB) {
+		v := b.Load(opaque)
+		b.Assert(b.Gt(v, b.Const(0)), "volrend: classification found opaque voxels")
+		// pixel[0] = voxel[octree[0]] = voxel[n-1] = 1+3(n-1).
+		pv := b.LoadIdx(pixel, b.Const(0))
+		b.Assert(b.Eq(pv, b.Const(1+3*(n-1))), "volrend: render pass used the octree table")
+	})
+	return pb.MustBuild()
+}
+
+// --- Water-NSquared --------------------------------------------------------------
+
+func buildWaterNSq(p Params) *ir.Program {
+	n := p.Size
+	pb := ir.NewProgram("water-nsq")
+	posn := pb.Global("pos", int(n))
+	forces := pb.Global("forces", int(n))
+	vsum := pb.Global("vsum", 1)
+	vlock := pb.Global("vlock", 1)
+	bar := newBarrier(pb, "bar")
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	lo, hi := chunk(w, me, p.Threads, n)
+	// O(n^2/p) pairwise interactions: pure arithmetic on loaded positions —
+	// the paper's lowest acquire ratio (7%).
+	acc := w.Move(w.Const(0))
+	w.For(lo, hi, func(i ir.Reg) {
+		pi := w.LoadIdx(posn, i)
+		f := w.Move(w.Const(0))
+		w.ForConst(0, n, func(j ir.Reg) {
+			pj := w.LoadIdx(posn, j)
+			d := w.Sub(pi, pj)
+			w.MoveTo(f, w.Add(f, w.Mul(d, d)))
+		})
+		w.StoreIdx(forces, i, f)
+		w.MoveTo(acc, w.Add(acc, f))
+	})
+	lockedAdd(w, vlock, vsum, acc)
+	bar.wait(w, sense, int64(p.Threads))
+	// Integrate (arithmetic).
+	w.For(lo, hi, func(i ir.Reg) {
+		v := w.LoadIdx(forces, i)
+		w.StoreIdx(posn, i, w.Add(w.LoadIdx(posn, i), w.Div(v, w.Const(1000))))
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	dilute(pb, w, "wnsq", posn, nil, lo, hi, n, 7, 6, 5)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, posn, n, 0, 5)
+	}, func(b *ir.FB) {
+		v := b.Load(vsum)
+		b.Assert(b.Gt(v, b.Const(0)), "water-nsq: potential accumulated")
+	})
+	return pb.MustBuild()
+}
+
+// --- Water-Spatial ----------------------------------------------------------------
+
+func buildWaterSp(p Params) *ir.Program {
+	n := p.Size
+	cells := int64(4)
+	pb := ir.NewProgram("water-sp")
+	mol := pb.Global("mol", int(n))
+	cellstart := pb.Global("cellstart", int(cells)) // cell list heads
+	out := pb.Global("out", int(n))
+	bar := newBarrier(pb, "bar")
+	moved := pb.Global("moved", 1)
+
+	w := pb.Func("worker", 1)
+	me := w.Param(0)
+	sense := w.Move(w.Const(0))
+	one := w.Const(1)
+	perCell := n / cells
+	// Each thread owns cells (round robin); it reads the cell's start
+	// index (one indirect read per cell) then streams arithmetically.
+	w.ForConst(0, cells, func(c ir.Reg) {
+		mine := w.Eq(w.Mod(c, w.Const(int64(p.Threads))), me)
+		w.If(mine, func() {
+			start := w.LoadIdx(cellstart, c) // indirect: cell list head
+			w.For(start, w.Add(start, w.Const(perCell)), func(i ir.Reg) {
+				v := w.LoadIdx(mol, i)
+				w.StoreIdx(out, i, w.AddImm(w.MulImm(v, 2), 1))
+			})
+			pm := w.AddrOf(moved)
+			w.FetchAdd(pm, w.Const(perCell))
+		})
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	// Second sweep: straight arithmetic over my chunk.
+	lo, hi := chunk(w, me, p.Threads, n)
+	w.For(lo, hi, func(i ir.Reg) {
+		v := w.LoadIdx(out, i)
+		w.StoreIdx(mol, i, w.Add(v, one))
+	})
+	bar.wait(w, sense, int64(p.Threads))
+	dilute(pb, w, "wsp", mol, nil, lo, hi, n, 6, 3, 1)
+	w.RetVoid()
+
+	splashMain(pb, p.Threads, func(b *ir.FB) {
+		initRamp(b, mol, n, 2, 1)
+		b.ForConst(0, cells, func(c ir.Reg) {
+			b.StoreIdx(cellstart, c, b.Mul(c, b.Const(perCell)))
+		})
+	}, func(b *ir.FB) {
+		assertEq(b, moved, n, "water-sp: every molecule binned exactly once")
+	})
+	return pb.MustBuild()
+}
+
+// ensure fmt is linked for future debugging helpers.
+var _ = fmt.Sprintf

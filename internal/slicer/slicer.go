@@ -1,0 +1,125 @@
+// Package slicer implements the conservative intraprocedural backwards
+// slicer of the paper's Listing 2. Both acquire-detection algorithms
+// (Listings 1 and 3) drive it: they seed a worklist with the defining
+// instructions of some root operands (branch predicates, dereferenced
+// addresses, address-calculation offsets) and the slicer walks backwards
+// through register def-use and — for loads — through the may-alias
+// "potential writers", registering every escaping read it encounters as a
+// synchronization-read candidate.
+//
+// Conservatism notes, mirroring the paper:
+//   - get_def is conservative: registers may be defined at several sites
+//     (loop-carried moves), and every defining site enters the slice;
+//   - a load's value is traced to every store in the function that may
+//     alias it (Listing 2 line 17);
+//   - the `seen` set is shared across all slices of one function, both to
+//     terminate cycles and because results only accumulate (Listing 1
+//     passes one seen set to every slicer call).
+//
+// The paper ignores read-modify-writes; following its Section 3 remark we
+// treat CAS/FetchAdd as a read-followed-by-write at one point, and — since
+// their result registers genuinely derive from their value operands — we
+// additionally trace their operand definitions, which only widens the slice
+// (the conservative direction).
+package slicer
+
+import (
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+// Slicer carries the per-function slicing state shared across root sets.
+type Slicer struct {
+	fn   *ir.Fn
+	al   *alias.Analysis
+	esc  *escape.Result
+	defs map[ir.Reg][]*ir.Instr
+
+	seen      map[*ir.Instr]bool
+	syncReads map[*ir.Instr]bool
+}
+
+// New prepares a slicer for fn. The alias and escape results must belong to
+// the same (finalized) program.
+func New(fn *ir.Fn, al *alias.Analysis, esc *escape.Result) *Slicer {
+	s := &Slicer{
+		fn:        fn,
+		al:        al,
+		esc:       esc,
+		defs:      make(map[ir.Reg][]*ir.Instr),
+		seen:      make(map[*ir.Instr]bool),
+		syncReads: make(map[*ir.Instr]bool),
+	}
+	fn.Instrs(func(in *ir.Instr) {
+		if d := in.Def(); d != ir.NoReg {
+			s.defs[d] = append(s.defs[d], in)
+		}
+	})
+	return s
+}
+
+// Defs returns every instruction in the function that may define r — the
+// conservative get_def of the paper's listings.
+func (s *Slicer) Defs(r ir.Reg) []*ir.Instr { return s.defs[r] }
+
+// SliceFromRegs seeds the worklist with the definitions of the given
+// registers (get_def of each root operand) and runs the slice to exhaustion,
+// accumulating escaping reads into the sync-read set.
+func (s *Slicer) SliceFromRegs(regs ...ir.Reg) {
+	var work []*ir.Instr
+	for _, r := range regs {
+		if r == ir.NoReg {
+			continue
+		}
+		work = append(work, s.defs[r]...)
+	}
+	s.run(work)
+}
+
+// run is Listing 2: a worklist of instructions; loads contribute their
+// may-alias writers, everything else contributes its operands' definitions.
+func (s *Slicer) run(work []*ir.Instr) {
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.seen[in] {
+			continue
+		}
+		s.seen[in] = true
+
+		if in.ReadsMem() {
+			if s.esc.AccessEscapes(in) {
+				s.syncReads[in] = true
+			}
+			work = append(work, s.al.PotentialWriters(s.fn, in)...)
+			// RMW result values derive from their operands as well; plain
+			// loads stop here (their address dependence is the address
+			// signature's concern, handled by the caller's root set).
+			if in.Kind == ir.CAS || in.Kind == ir.FetchAdd {
+				for _, u := range in.Uses() {
+					work = append(work, s.defs[u]...)
+				}
+			}
+			continue
+		}
+		for _, u := range in.Uses() {
+			work = append(work, s.defs[u]...)
+		}
+	}
+}
+
+// SyncReads returns the accumulated synchronization-read candidates in
+// program order.
+func (s *Slicer) SyncReads() []*ir.Instr {
+	var out []*ir.Instr
+	s.fn.Instrs(func(in *ir.Instr) {
+		if s.syncReads[in] {
+			out = append(out, in)
+		}
+	})
+	return out
+}
+
+// Seen reports whether the instruction has entered any slice so far.
+func (s *Slicer) Seen(in *ir.Instr) bool { return s.seen[in] }

@@ -1,0 +1,184 @@
+package slicer
+
+import (
+	"testing"
+
+	"fenceplace/internal/alias"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/ir"
+)
+
+func prep(t *testing.T, p *ir.Program) (*alias.Analysis, *escape.Result) {
+	t.Helper()
+	al := alias.Analyze(p)
+	return al, escape.Analyze(p, al)
+}
+
+func TestDefsConservativeOverMultipleAssignments(t *testing.T) {
+	// A register assigned in two places (loop induction pattern) reports
+	// both defining instructions.
+	pb := ir.NewProgram("p")
+	g := pb.Global("g", 8)
+	b := pb.Func("f", 0)
+	b.ForConst(0, 4, func(i ir.Reg) {
+		b.StoreIdx(g, i, i)
+	})
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, esc := prep(t, p)
+	f := p.Fn("f")
+	s := New(f, al, esc)
+	// Find the induction register: destination of the first Move.
+	var ind ir.Reg = ir.NoReg
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.Move && ind == ir.NoReg {
+			ind = in.Dst
+		}
+	})
+	if ind == ir.NoReg {
+		t.Fatal("no move found")
+	}
+	if got := len(s.Defs(ind)); got < 2 {
+		t.Fatalf("induction register has %d defs, want >= 2 (init + latch)", got)
+	}
+}
+
+func TestSliceStopsAtPlainLoadOperands(t *testing.T) {
+	// Listing 2: for a load, only potential writers are traced — the index
+	// operand is not (that is the address signature's job). Slicing from a
+	// branch on arr[i] must flag the arr load but not the i load.
+	pb := ir.NewProgram("p")
+	idxG := pb.Global("idx", 1)
+	arr := pb.Global("arr", 8)
+	b := pb.Func("f", 0)
+	i := b.Load(idxG)
+	v := b.LoadIdx(arr, i)
+	b.If(b.Gt(v, b.Const(0)), func() {})
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, esc := prep(t, p)
+	f := p.Fn("f")
+	s := New(f, al, esc)
+	var br *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.Br && br == nil {
+			br = in
+		}
+	})
+	s.SliceFromRegs(br.A)
+	reads := s.SyncReads()
+	foundArr, foundIdx := false, false
+	for _, in := range reads {
+		if in.G != nil && in.G.Name == "arr" {
+			foundArr = true
+		}
+		if in.G != nil && in.G.Name == "idx" {
+			foundIdx = true
+		}
+	}
+	if !foundArr {
+		t.Error("branch-fed arr load not in slice")
+	}
+	if foundIdx {
+		t.Error("index load wrongly pulled into the value slice of a plain load")
+	}
+}
+
+func TestSeenSetSharedAcrossSlices(t *testing.T) {
+	pb := ir.NewProgram("p")
+	flag := pb.Global("flag", 1)
+	b := pb.Func("f", 0)
+	v := b.Load(flag)
+	c := b.Eq(v, b.Const(1))
+	b.If(c, func() {})
+	b.If(c, func() {}) // second branch over the same slice
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, esc := prep(t, p)
+	f := p.Fn("f")
+	s := New(f, al, esc)
+	var brs []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.Br {
+			brs = append(brs, in)
+		}
+	})
+	if len(brs) < 2 {
+		t.Fatalf("want >= 2 branches, got %d", len(brs))
+	}
+	s.SliceFromRegs(brs[0].A)
+	if !s.Seen(find(f, ir.Load)) {
+		t.Fatal("load not seen after first slice")
+	}
+	s.SliceFromRegs(brs[1].A) // must terminate instantly via seen set
+	if got := len(s.SyncReads()); got != 1 {
+		t.Fatalf("got %d sync reads, want exactly 1 (no duplicates)", got)
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	// A loop-carried dependence (x = f(x)) must not hang the slicer.
+	pb := ir.NewProgram("p")
+	g := pb.Global("g", 1)
+	b := pb.Func("f", 0)
+	acc := b.Move(b.Load(g))
+	n := b.Move(b.Const(10))
+	one := b.Const(1)
+	b.While(func() ir.Reg { return b.Gt(n, b.Const(0)) }, func() {
+		b.MoveTo(acc, b.Add(acc, acc)) // acc depends on acc
+		b.MoveTo(n, b.Sub(n, one))
+	})
+	b.If(b.Gt(acc, b.Const(100)), func() {})
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, esc := prep(t, p)
+	f := p.Fn("f")
+	s := New(f, al, esc)
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == ir.Br {
+			s.SliceFromRegs(in.A)
+		}
+	})
+	reads := s.SyncReads()
+	if len(reads) != 1 {
+		t.Fatalf("got %d sync reads, want 1 (the g load feeding acc)", len(reads))
+	}
+}
+
+func TestNoRegRootIgnored(t *testing.T) {
+	pb := ir.NewProgram("p")
+	b := pb.Func("f", 0)
+	b.RetVoid()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, esc := prep(t, p)
+	s := New(p.Fn("f"), al, esc)
+	s.SliceFromRegs(ir.NoReg) // must be a no-op, not a panic
+	if len(s.SyncReads()) != 0 {
+		t.Fatal("NoReg root produced sync reads")
+	}
+}
+
+func find(f *ir.Fn, k ir.Kind) *ir.Instr {
+	var found *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Kind == k && found == nil {
+			found = in
+		}
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomeanBasics(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{3}, 3},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{4, 0}, 4}, // non-positive entries are ignored
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanProperties(t *testing.T) {
+	// Property (testing/quick): the geomean of positive values lies between
+	// their min and max, and is scale-equivariant.
+	prop := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%999) + 1, float64(b%999) + 1, float64(c%999) + 1}
+		g := Geomean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		if g < mn-1e-9 || g > mx+1e-9 {
+			return false
+		}
+		scaled := Geomean([]float64{xs[0] * 7, xs[1] * 7, xs[2] * 7})
+		return math.Abs(scaled-7*g) < 1e-6*scaled
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(3, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+	if Pct(0.125) != "12.5%" {
+		t.Errorf("Pct(0.125) = %q", Pct(0.125))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "v")
+	tb.Add("a", "1")
+	tb.Add("longer", "22")
+	tb.AddSep()
+	tb.Add("z")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), s)
+	}
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) > 0 && len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "----") || !strings.Contains(lines[4], "----") {
+		t.Error("separators missing")
+	}
+}
