@@ -10,6 +10,8 @@ package fenceplace
 // come from cmd/paperbench and are recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"fenceplace/internal/acquire"
@@ -19,6 +21,7 @@ import (
 	"fenceplace/internal/exp"
 	"fenceplace/internal/fence"
 	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/tso"
@@ -159,6 +162,83 @@ func BenchmarkManualTable(b *testing.B) {
 				b.Fatalf("%s: %v", p.Name, out.Failures)
 			}
 		}
+	}
+}
+
+// BenchmarkCertify measures the certification subsystem: exhaustive
+// SC-equivalence checking of the Control placement on corpus kernels at a
+// reduced instantiation, across worker-pool sizes. The reported states/s
+// metric is total states visited (SC + TSO exploration) per second; on
+// multi-core machines the GOMAXPROCS configuration must beat 1 worker on
+// the medium program.
+func BenchmarkCertify(b *testing.B) {
+	cases := []struct {
+		name    string
+		prog    string
+		threads int
+		size    int64
+	}{
+		{"small-dekker", "dekker", 2, 1},
+		{"medium-szymanski", "szymanski", 2, 2},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	uniq := workerCounts[:0]
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	workerCounts = uniq
+	for _, tc := range cases {
+		m := progs.ByName(tc.prog)
+		pp := m.Defaults
+		pp.Threads = tc.threads
+		pp.Size = tc.size
+		res := Analyze(m.Build(pp), Control)
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				var states int64
+				for i := 0; i < b.N; i++ {
+					rep, err := CertifyOpt(res, nil, CertOptions{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Equivalent {
+						b.Fatalf("%s: not SC-equivalent: %s", tc.prog, rep)
+					}
+					states += rep.VisitedSC + rep.VisitedTSO
+				}
+				b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+			})
+		}
+	}
+}
+
+// BenchmarkCertifyVsNaive quantifies the partial-order reduction: the same
+// certification with POR disabled visits strictly more states.
+func BenchmarkCertifyVsNaive(b *testing.B) {
+	m := progs.ByName("dekker")
+	pp := m.Defaults
+	pp.Threads = 2
+	pp.Size = 1
+	res := Analyze(m.Build(pp), Control)
+	for _, mode := range []struct {
+		name  string
+		nopor bool
+	}{{"por", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var states int64
+			for i := 0; i < b.N; i++ {
+				rep, err := mc.Certify(res.Prog, res.Instrumented, nil, mc.Config{NoPOR: mode.nopor})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += rep.VisitedSC + rep.VisitedTSO
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
 	}
 }
 

@@ -26,13 +26,29 @@ func main() {
 		fig10  = flag.Bool("fig10", false, "Figure 10: simulated execution time vs manual")
 		manual = flag.Bool("manual", false, "manual fence counts (§5.3)")
 		seeds  = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
+		cert   = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
+		budget = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
 	)
 	flag.Parse()
 
-	all := !*table2 && !*fig2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*manual
+	all := !*table2 && !*fig2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*manual && !*cert
 
 	if all || *table2 {
 		fmt.Println(exp.Table2())
+	}
+	if all || *cert {
+		// Exhaustive certification runs the sync kernels at a reduced
+		// instantiation (2 threads) so the whole state space fits.
+		var rows []*exp.Row
+		for _, m := range exp.CertSet() {
+			pp := m.Defaults
+			pp.Threads = 2
+			if pp.Size > 2 {
+				pp.Size = 2
+			}
+			rows = append(rows, exp.Analyze(m, pp))
+		}
+		fmt.Println(exp.CertTable(rows, *budget))
 	}
 	if all || *fig2 {
 		fmt.Println(exp.Fig2())

@@ -26,6 +26,7 @@ import (
 	"fenceplace/internal/escape"
 	"fenceplace/internal/fence"
 	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/tso"
 )
@@ -163,4 +164,48 @@ func RunTSO(p *Program, seed int64) *RunOutcome {
 // semantics the paper's guarantee is stated against.
 func RunSC(p *Program, seed int64) *RunOutcome {
 	return tso.Run(p, tso.Config{Mode: tso.SC, Sched: tso.Random, Seed: seed})
+}
+
+// CertReport is the verdict of a certification run: whether the
+// instrumented program under x86-TSO reaches exactly the final states the
+// original reaches under SC, with counterexample schedules when it does
+// not (see internal/mc).
+type CertReport = mc.Report
+
+// CertOptions tunes a certification run. The zero value uses the model
+// checker's defaults (GOMAXPROCS workers, 2M-state budget, partial-order
+// reduction on).
+type CertOptions struct {
+	MaxStates int64 // state budget per exploration; exceeded => error
+	Workers   int   // parallel exploration workers
+	BufferCap int   // TSO store-buffer capacity modeled (default 4)
+}
+
+// ErrTruncated reports a certification whose state budget ran out; the
+// verdict is then unknown, never "equivalent".
+var ErrTruncated = mc.ErrTruncated
+
+// Certify model-checks an analysis result: it explores every interleaving
+// (and store-buffer drain schedule) of the instrumented program under
+// x86-TSO and of the original program under SC, and reports whether the
+// reachable final-state sets coincide — the paper's guarantee, decided
+// exhaustively. The program is explored from its main function; use
+// CertifyThreads for litmus-style programs without one.
+func Certify(res *Result) (*CertReport, error) {
+	return CertifyThreads(res, nil)
+}
+
+// CertifyThreads is Certify with an explicit set of flat thread functions
+// run concurrently from the initial state (the litmus configuration).
+func CertifyThreads(res *Result, threads []string) (*CertReport, error) {
+	return CertifyOpt(res, threads, CertOptions{})
+}
+
+// CertifyOpt is CertifyThreads with explicit exploration options.
+func CertifyOpt(res *Result, threads []string, opt CertOptions) (*CertReport, error) {
+	return mc.Certify(res.Prog, res.Instrumented, threads, mc.Config{
+		MaxStates: opt.MaxStates,
+		Workers:   opt.Workers,
+		BufferCap: opt.BufferCap,
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"fenceplace/internal/litmus"
 	"fenceplace/internal/progs"
 )
 
@@ -148,6 +149,85 @@ func TestFacadeAgainstCorpus(t *testing.T) {
 				t.Errorf("%s/%s failed under TSO: %v", name, r.Strategy, out.Failures)
 			}
 		}
+	}
+}
+
+// TestCertifyLitmusSuite is the certification acceptance test over the
+// litmus tests: Pensieve's placement (no DRF assumption) must certify on
+// every test, and the pruned variants on every DRF test. Unfenced SB is
+// deliberately racy — the one program where the DRF-conditional guarantee
+// does not apply — so Control must detect the non-SC outcome and produce a
+// schedule, which is the certification layer doing its job.
+func TestCertifyLitmusSuite(t *testing.T) {
+	for _, lt := range litmus.All() {
+		pen := Analyze(lt.Prog, PensieveOnly)
+		rep, err := CertifyThreads(pen, lt.Threads)
+		if err != nil {
+			t.Fatalf("%s/Pensieve: %v", lt.Name, err)
+		}
+		if !rep.Equivalent {
+			t.Errorf("%s/Pensieve: not certified: %s", lt.Name, rep)
+		}
+
+		ctl := Analyze(lt.Prog, Control)
+		rep, err = CertifyThreads(ctl, lt.Threads)
+		if err != nil {
+			t.Fatalf("%s/Control: %v", lt.Name, err)
+		}
+		racy := lt.AllowedTSO && !lt.AllowedSC // unfenced SB only
+		if racy {
+			if rep.Equivalent {
+				t.Errorf("%s/Control: racy program wrongly certified", lt.Name)
+			} else if len(rep.Violations) == 0 || rep.Violations[0].Schedule == nil {
+				t.Errorf("%s/Control: violation without counterexample schedule", lt.Name)
+			}
+		} else if !rep.Equivalent {
+			t.Errorf("%s/Control: DRF litmus test not certified: %s", lt.Name, rep)
+		}
+	}
+}
+
+// TestCertifyCorpusKernels certifies whole corpus programs — spawn, join
+// and spin loops included — which the legacy explorer could not execute at
+// all. The Dekker-family kernels need their w→r fences, so certifying the
+// unfenced legacy build must fail.
+func TestCertifyCorpusKernels(t *testing.T) {
+	for _, name := range []string{"dekker", "peterson"} {
+		m := progs.ByName(name)
+		pp := m.Defaults
+		pp.Threads = 2
+		pp.Size = 1
+		res := Analyze(m.Build(pp), Control)
+		rep, err := Certify(res)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Equivalent {
+			t.Errorf("%s/Control: not certified: %s", name, rep)
+		}
+
+		// Negative control: the unfenced build must not certify.
+		bare := *res
+		bare.Instrumented = res.Prog
+		rep, err = Certify(&bare)
+		if err != nil {
+			t.Fatalf("%s unfenced: %v", name, err)
+		}
+		if rep.Equivalent {
+			t.Errorf("%s: unfenced build wrongly certified SC-equivalent", name)
+		}
+	}
+}
+
+func TestCertifyMPFromSource(t *testing.T) {
+	p := MustParse(mpSrc)
+	res := Analyze(p, Control)
+	rep, err := Certify(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatalf("instrumented MP not certified: %s", rep)
 	}
 }
 

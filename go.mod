@@ -1,0 +1,3 @@
+module fenceplace
+
+go 1.24

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"fenceplace/internal/mc"
+	"fenceplace/internal/progs"
+	"fenceplace/internal/stats"
+)
+
+// CertStatus classifies one certification attempt.
+type CertStatus int
+
+const (
+	// CertOK: the variant's instrumented program is SC-equivalent.
+	CertOK CertStatus = iota
+	// CertViolation: a TSO-only final state exists (fences insufficient —
+	// or the program is not DRF, voiding the pruned variants' guarantee).
+	CertViolation
+	// CertBudget: the state space outgrew the budget; verdict unknown.
+	CertBudget
+	// CertError: the exploration failed outright.
+	CertError
+)
+
+func (s CertStatus) String() string {
+	switch s {
+	case CertOK:
+		return "certified"
+	case CertViolation:
+		return "VIOLATION"
+	case CertBudget:
+		return "budget"
+	case CertError:
+		return "error"
+	}
+	return fmt.Sprintf("certstatus(%d)", int(s))
+}
+
+// CertCell is the certification column entry for one (program, variant).
+type CertCell struct {
+	Status CertStatus
+	Report *mc.Report // nil unless the exploration completed
+	Err    error
+}
+
+func (c CertCell) String() string {
+	switch c.Status {
+	case CertOK:
+		return fmt.Sprintf("certified (%d states)", c.Report.VisitedTSO)
+	case CertViolation:
+		return fmt.Sprintf("VIOLATION (%d TSO-only)", len(c.Report.Violations))
+	case CertBudget:
+		return "budget exceeded"
+	default:
+		return fmt.Sprintf("error: %v", c.Err)
+	}
+}
+
+// Certify model-checks the variant's instrumented build against the legacy
+// build's SC semantics, whole-program (main spawns the workers).
+func (r *Row) Certify(v Variant, cfg mc.Config) CertCell {
+	rep, err := mc.Certify(r.Prog, r.Inst[v], nil, cfg)
+	switch {
+	case errors.Is(err, mc.ErrTruncated):
+		return CertCell{Status: CertBudget, Err: err}
+	case err != nil:
+		return CertCell{Status: CertError, Err: err}
+	case rep.Equivalent:
+		return CertCell{Status: CertOK, Report: rep}
+	default:
+		return CertCell{Status: CertViolation, Report: rep}
+	}
+}
+
+// CertTable renders the certification column of the evaluation: for each
+// program and variant, whether the placed fences provably restore SC.
+// Exhaustive certification only scales to small instantiations, so callers
+// analyze the corpus at reduced parameters (cmd/paperbench uses Threads=2)
+// and bound the exploration with maxStates.
+func CertTable(rows []*Row, maxStates int64) string {
+	t := stats.NewTable("program", "Manual", "Pensieve", "Address+Control", "Control")
+	cfg := mc.Config{MaxStates: maxStates}
+	for _, r := range rows {
+		cells := []string{r.Meta.Name}
+		for _, v := range Variants {
+			cells = append(cells, r.Certify(v, cfg).String())
+		}
+		t.Add(cells...)
+	}
+	return "Certification: exhaustive SC-equivalence of the placed fences\n" +
+		"(model checker: TSO final states of the instrumented build vs SC final states\n" +
+		"of the legacy build; a VIOLATION on a pruned variant means the program is\n" +
+		"not DRF or the fences are insufficient)\n" + t.String()
+}
+
+// CertSet returns corpus programs small enough for exhaustive
+// certification at reduced parameters: the Table II synchronization
+// kernels, whose whole state spaces fit comfortably in the budget.
+func CertSet() []*progs.Meta {
+	return progs.ByKind(progs.SyncKernel)
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/progs"
 )
@@ -194,5 +196,44 @@ func TestVariantNames(t *testing.T) {
 	}
 	if len(Variants) != int(numVariants) {
 		t.Error("Variants list out of sync")
+	}
+}
+
+// TestCertificationColumn model-checks the fence placements of two
+// Dekker-family kernels at a reduced instantiation: every variant must be
+// certified SC-equivalent, and the unfenced legacy build must not be.
+func TestCertificationColumn(t *testing.T) {
+	cfg := mc.Config{MaxStates: 1 << 20}
+	for _, name := range []string{"dekker", "peterson"} {
+		m := progs.ByName(name)
+		pp := m.Defaults
+		pp.Threads = 2
+		pp.Size = 1
+		r := Analyze(m, pp)
+		for _, v := range Variants {
+			cell := r.Certify(v, cfg)
+			if cell.Status != CertOK {
+				t.Errorf("%s/%s: %s", name, v, cell)
+			}
+		}
+		// The legacy build run raw under TSO is the negative control.
+		bare := &Row{Meta: r.Meta, Prog: r.Prog, Inst: map[Variant]*ir.Program{Manual: r.Prog}}
+		if cell := bare.Certify(Manual, cfg); cell.Status != CertViolation {
+			t.Errorf("%s unfenced: expected VIOLATION, got %s", name, cell)
+		}
+	}
+}
+
+func TestCertTableRenders(t *testing.T) {
+	m := progs.ByName("peterson")
+	pp := m.Defaults
+	pp.Threads = 2
+	pp.Size = 1
+	s := CertTable([]*Row{Analyze(m, pp)}, 1<<20)
+	if !strings.Contains(s, "certified") || !strings.Contains(s, "peterson") {
+		t.Errorf("certification table incomplete:\n%s", s)
+	}
+	if len(CertSet()) == 0 {
+		t.Error("empty certification set")
 	}
 }

@@ -1,0 +1,57 @@
+package ir
+
+// EvalBinOp evaluates a pure binary operation on word values with the IR's
+// total semantics: division and modulo by zero yield 0 (the interpreters
+// never trap), shifts mask their count to 63, comparisons yield 0 or 1.
+// Both the TSO simulator and the model checker execute BinOp through this
+// single definition so their arithmetic can never diverge.
+func EvalBinOp(op Op, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpMod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint64(b) & 63)
+	case OpShr:
+		return a >> (uint64(b) & 63)
+	case OpEq:
+		return b2i(a == b)
+	case OpNe:
+		return b2i(a != b)
+	case OpLt:
+		return b2i(a < b)
+	case OpLe:
+		return b2i(a <= b)
+	case OpGt:
+		return b2i(a > b)
+	case OpGe:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/tso"
 )
 
@@ -27,15 +28,36 @@ type Test struct {
 	AllowedSC  bool
 }
 
-// Observed explores the test under the given model and reports whether the
-// distinguished outcome is reachable.
+// Observed explores the test under the given model with the parallel model
+// checker and reports whether the distinguished outcome is reachable. A
+// truncated exploration is an explicit error (wrapping mc.ErrTruncated):
+// an incomplete state space must never silently pass for a verdict.
 func (t *Test) Observed(mode tso.Mode) (bool, error) {
-	res, err := tso.Explore(t.Prog, t.Threads, tso.ExploreConfig{Mode: mode})
+	return t.observedBudget(mode, 0)
+}
+
+// Explore runs the model checker over the test's threads under the given
+// model and returns the reachable final-state set.
+func (t *Test) Explore(mode tso.Mode) (*mc.StateSet, error) {
+	return t.exploreBudget(mode, 0)
+}
+
+func (t *Test) exploreBudget(mode tso.Mode, maxStates int64) (*mc.StateSet, error) {
+	res, err := mc.Explore(t.Prog, t.Threads, mc.Config{Mode: mode, MaxStates: maxStates})
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if res.Truncated {
-		return false, fmt.Errorf("litmus %s: exploration truncated", t.Name)
+		return nil, fmt.Errorf("litmus %s under %s: gave up after %d states: %w",
+			t.Name, mode, res.Visited, mc.ErrTruncated)
+	}
+	return res, nil
+}
+
+func (t *Test) observedBudget(mode tso.Mode, maxStates int64) (bool, error) {
+	res, err := t.exploreBudget(mode, maxStates)
+	if err != nil {
+		return false, err
 	}
 	return res.Has(t.Outcome, t.Prog), nil
 }

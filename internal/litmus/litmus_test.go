@@ -1,8 +1,11 @@
 package litmus
 
 import (
+	"errors"
+	"sort"
 	"testing"
 
+	"fenceplace/internal/mc"
 	"fenceplace/internal/tso"
 )
 
@@ -33,6 +36,64 @@ func TestSuiteCoversTheRelaxationSurface(t *testing.T) {
 	}
 	if relaxed != 1 {
 		t.Fatalf("%d TSO-relaxed tests, want exactly 1 (SB)", relaxed)
+	}
+}
+
+// TestModelCheckerAgreesWithLegacyExplorer keeps tso.Explore as the
+// differential oracle for the new engine: on every litmus test and under
+// both memory models, the reachable final-state sets must be identical.
+func TestModelCheckerAgreesWithLegacyExplorer(t *testing.T) {
+	for _, lt := range All() {
+		for _, mode := range []tso.Mode{tso.TSO, tso.SC} {
+			legacy, err := tso.Explore(lt.Prog, lt.Threads, tso.ExploreConfig{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy.Truncated {
+				t.Fatalf("%s/%s: legacy exploration truncated", lt.Name, mode)
+			}
+			checked, err := lt.Explore(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sortedKeys(legacy.Outcomes)
+			got := sortedKeys(checked.Outcomes)
+			if len(want) != len(got) {
+				t.Fatalf("%s/%s: %d outcomes vs legacy %d\n got %v\nwant %v", lt.Name, mode, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s/%s: outcome sets differ\n got %v\nwant %v", lt.Name, mode, got, want)
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string][]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestTruncationSurfacesAsError pins the verdict-soundness rule: a litmus
+// check whose exploration blows its state budget must fail loudly instead
+// of reporting "outcome not observed".
+func TestTruncationSurfacesAsError(t *testing.T) {
+	lt := All()[0]
+	res, err := mc.Explore(lt.Prog, lt.Threads, mc.Config{Mode: tso.TSO, MaxStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("tiny budget did not truncate")
+	}
+	// The package-level path must convert Truncated into an error.
+	if _, err := (&Test{Name: lt.Name, Prog: lt.Prog, Threads: lt.Threads, Outcome: lt.Outcome}).observedBudget(tso.TSO, 2); !errors.Is(err, mc.ErrTruncated) {
+		t.Fatalf("truncated verdict returned %v, want mc.ErrTruncated", err)
 	}
 }
 

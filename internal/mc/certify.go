@@ -1,0 +1,267 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/tso"
+)
+
+// Step is one scheduling decision of a counterexample: either thread
+// Thread executes its next instruction, or it retires the oldest entry of
+// its store buffer.
+type Step struct {
+	Thread int
+	Drain  bool
+	Desc   string // printable form of the instruction or retired store
+}
+
+func (s Step) String() string {
+	if s.Drain {
+		return fmt.Sprintf("t%d: <drain> %s", s.Thread, s.Desc)
+	}
+	return fmt.Sprintf("t%d: %s", s.Thread, s.Desc)
+}
+
+// Violation is one final state reachable under TSO but not under SC, with a
+// concrete schedule reaching it when reconstruction succeeded.
+type Violation struct {
+	Key      string  // printable outcome key
+	Globals  []int64 // final global values
+	Schedule []Step  // interleaving + drain schedule; nil if not reconstructed
+}
+
+// Report is the result of one certification run.
+type Report struct {
+	Program     string
+	Equivalent  bool // TSO(instrumented) reaches exactly the SC final states
+	SCOutcomes  int
+	TSOOutcomes int
+	VisitedSC   int64 // states visited exploring the original under SC
+	VisitedTSO  int64 // states visited exploring the instrumented under TSO
+	Missing     []string    // SC-only outcomes (engine invariant: always empty)
+	Violations  []Violation // TSO-only outcomes
+}
+
+// String renders a one-paragraph verdict.
+func (r *Report) String() string {
+	var sb strings.Builder
+	verdict := "CERTIFIED SC-equivalent"
+	if !r.Equivalent {
+		verdict = "NOT SC-equivalent"
+	}
+	fmt.Fprintf(&sb, "%s: %s; %d SC outcomes (%d states), %d TSO outcomes (%d states)",
+		r.Program, verdict, r.SCOutcomes, r.VisitedSC, r.TSOOutcomes, r.VisitedTSO)
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&sb, "; %d TSO-only outcome(s)", len(r.Violations))
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(&sb, "; %d SC outcome(s) unreachable under TSO", len(r.Missing))
+	}
+	return sb.String()
+}
+
+// Counterexample renders the first reconstructed violation schedule, or ""
+// when the report is clean.
+func (r *Report) Counterexample() string {
+	for _, v := range r.Violations {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "non-SC outcome %s via schedule:\n", v.Key)
+		if v.Schedule == nil {
+			sb.WriteString("  (schedule not reconstructed within the state budget)\n")
+			return sb.String()
+		}
+		for _, st := range v.Schedule {
+			fmt.Fprintf(&sb, "  %s\n", st)
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// Certify decides whether the instrumented program running under x86-TSO
+// reaches exactly the final states the original program reaches under
+// sequential consistency — the paper's guarantee, stated over a concrete
+// state space. threadFns selects litmus-style entry (nil explores from
+// main). Both explorations must complete within cfg.MaxStates; a truncated
+// exploration returns an error wrapping ErrTruncated rather than an
+// unsound verdict.
+func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, error) {
+	scCfg := cfg
+	scCfg.Mode = tso.SC
+	sc, err := Explore(orig, threadFns, scCfg)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Truncated {
+		return nil, fmt.Errorf("mc: certify %s: SC exploration after %d states: %w", orig.Name, sc.Visited, ErrTruncated)
+	}
+	tsoCfg := cfg
+	tsoCfg.Mode = tso.TSO
+	ts, err := Explore(inst, threadFns, tsoCfg)
+	if err != nil {
+		return nil, err
+	}
+	if ts.Truncated {
+		return nil, fmt.Errorf("mc: certify %s: TSO exploration after %d states: %w", inst.Name, ts.Visited, ErrTruncated)
+	}
+
+	r := &Report{
+		Program:     orig.Name,
+		SCOutcomes:  len(sc.Outcomes),
+		TSOOutcomes: len(ts.Outcomes),
+		VisitedSC:   sc.Visited,
+		VisitedTSO:  ts.Visited,
+	}
+	targets := make(map[string]bool)
+	for k := range ts.Outcomes {
+		if _, ok := sc.Outcomes[k]; !ok {
+			targets[k] = true
+		}
+	}
+	for k := range sc.Outcomes {
+		if _, ok := ts.Outcomes[k]; !ok {
+			r.Missing = append(r.Missing, k)
+		}
+	}
+	sort.Strings(r.Missing)
+	r.Equivalent = len(targets) == 0 && len(r.Missing) == 0
+	if len(targets) == 0 {
+		return r, nil
+	}
+
+	schedules := witness(inst, threadFns, tsoCfg, targets)
+	keys := make([]string, 0, len(targets))
+	for k := range targets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.Violations = append(r.Violations, Violation{
+			Key:      k,
+			Globals:  ts.Outcomes[k],
+			Schedule: schedules[k],
+		})
+	}
+	return r, nil
+}
+
+// wframe is one level of the witness DFS: the state it entered with, the
+// step that produced it, and the enabled transitions left to try.
+type wframe struct {
+	s    *state
+	step Step
+	bits []int
+	i    int
+}
+
+// witness reconstructs, by sequential depth-first search over the full
+// (unreduced) transition graph, one schedule per target outcome key. The
+// search stops when every target has a schedule or the state budget runs
+// out; missing entries stay nil.
+func witness(p *ir.Program, threadFns []string, cfg Config, targets map[string]bool) map[string][]Step {
+	e, init, err := newEngine(p, threadFns, cfg)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string][]Step, len(targets))
+	remaining := len(targets)
+	seen := make(map[string]bool)
+	encBuf := make([]byte, 0, 256)
+
+	push := func(stack []*wframe, s *state, step Step) []*wframe {
+		f := &wframe{s: s, step: step}
+		a := e.analyze(s)
+		for bit := 0; bit < 2*MaxThreads; bit++ {
+			if a.enabled&(1<<uint(bit)) != 0 {
+				f.bits = append(f.bits, bit)
+			}
+		}
+		return append(stack, f)
+	}
+
+	encBuf = e.encode(init, encBuf)
+	seen[string(encBuf)] = true
+	stack := push(nil, init, Step{})
+	var visited int64
+
+	for len(stack) > 0 && remaining > 0 {
+		top := stack[len(stack)-1]
+		if top.i == 0 {
+			visited++
+			if visited > e.cfg.MaxStates {
+				return out
+			}
+			key := ""
+			if top.s.terminal() {
+				key = e.outcomeKey(top.s, "")
+			} else if len(top.bits) == 0 {
+				key = e.outcomeKey(top.s, "!deadlock")
+			}
+			if key != "" {
+				if targets[key] && out[key] == nil {
+					sched := make([]Step, 0, len(stack)-1)
+					for _, f := range stack[1:] {
+						sched = append(sched, f.step)
+					}
+					out[key] = sched
+					remaining--
+				}
+			}
+		}
+		if top.i >= len(top.bits) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		bit := top.bits[top.i]
+		top.i++
+		child := top.s.clone()
+		var step Step
+		if bit < MaxThreads {
+			in := child.threads[bit].next()
+			step = Step{Thread: bit, Desc: in.String()}
+			if err := e.applyStep(child, bit); err != nil {
+				continue
+			}
+		} else {
+			tid := bit - MaxThreads
+			en := child.threads[tid].buf[0]
+			step = Step{Thread: tid, Drain: true, Desc: fmt.Sprintf("%s = %d", e.addrName(en.addr), en.val)}
+			applyDrain(child, tid)
+		}
+		encBuf = e.encode(child, encBuf)
+		key := string(encBuf)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		stack = push(stack, child, step)
+	}
+	return out
+}
+
+// outcomeKey renders a terminal state's printable outcome key.
+func (e *engine) outcomeKey(s *state, suffix string) string {
+	vec := s.mem[1 : 1+e.gwords]
+	key := fmt.Sprintf("%v", vec)
+	if s.failed {
+		key += "!assert"
+	}
+	return key + suffix
+}
+
+// addrName maps a word address back to a printable global location.
+func (e *engine) addrName(addr int64) string {
+	for _, g := range e.prog.Globals {
+		b := e.base[g]
+		if addr >= b && addr < b+int64(g.Size) {
+			if g.Size == 1 {
+				return g.Name
+			}
+			return fmt.Sprintf("%s[%d]", g.Name, addr-b)
+		}
+	}
+	return fmt.Sprintf("mem[%d]", addr)
+}

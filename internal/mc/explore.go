@@ -1,0 +1,333 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fenceplace/internal/ir"
+)
+
+const nShards = 64 // seen-set shards; fine-grained locking for the pool
+
+// seenShard is one shard of the global seen set. The value is the sleep
+// mask the state has been covered for: a state needs re-expansion only when
+// it is reached with a sleep set that is not a superset of the stored mask,
+// and then only for the previously-slept transitions (Godefroid's sleep
+// sets with state matching).
+type seenShard struct {
+	mu sync.Mutex
+	m  map[string]uint32
+}
+
+// node is one frontier entry: a state plus the sleep-set context it was
+// reached with. revisit != 0 marks a re-expansion restricted to that
+// transition mask.
+type node struct {
+	s       *state
+	sleep   uint32
+	revisit uint32
+}
+
+type engine struct {
+	prog   *ir.Program
+	cfg    Config
+	base   map[*ir.Global]int64
+	fnIdx  map[*ir.Fn]int32
+	gwords int
+
+	shards    [nShards]seenShard
+	visited   atomic.Int64
+	truncated atomic.Bool
+	inflight  atomic.Int64
+	hungry    atomic.Int32
+	handoff   chan *node
+	done      chan struct{}
+	closeOnce sync.Once
+
+	outMu    sync.Mutex
+	outcomes map[string][]int64
+	err      error
+}
+
+// worker-local scratch: frontier stack and encode buffer.
+type workerCtx struct {
+	local  []*node
+	encBuf []byte
+}
+
+// fnv1a hashes the canonical encoding for shard routing.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newEngine builds an engine and the initial state for the given entry
+// configuration (thread functions, or the program's main when nil).
+func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, error) {
+	cfg = cfg.withDefaults()
+	p.Finalize()
+	e := &engine{
+		prog:     p,
+		cfg:      cfg,
+		base:     make(map[*ir.Global]int64),
+		fnIdx:    make(map[*ir.Fn]int32, len(p.Funcs)),
+		handoff:  make(chan *node, 4096),
+		done:     make(chan struct{}),
+		outcomes: make(map[string][]int64),
+	}
+	for i, f := range p.Funcs {
+		e.fnIdx[f] = int32(i)
+	}
+
+	// Layout globals exactly like tso.Run: address 0 stays unused so a zero
+	// value is never a valid pointer.
+	mem := []int64{0}
+	for _, g := range p.Globals {
+		e.base[g] = int64(len(mem))
+		cells := make([]int64, g.Size)
+		copy(cells, g.Init)
+		mem = append(mem, cells...)
+		e.gwords += g.Size
+	}
+
+	init := &state{mem: mem}
+	if len(threadFns) > 0 {
+		if len(threadFns) > MaxThreads {
+			return nil, nil, fmt.Errorf("mc: %d thread functions exceed the %d-thread limit", len(threadFns), MaxThreads)
+		}
+		for _, name := range threadFns {
+			fn := p.Fn(name)
+			if fn == nil {
+				return nil, nil, fmt.Errorf("mc: explore: no function %q", name)
+			}
+			init.threads = append(init.threads, thr{frames: []frm{newFrame(fn, nil, ir.NoReg)}})
+		}
+	} else {
+		mainFn := p.Fn(p.Main)
+		if mainFn == nil {
+			return nil, nil, fmt.Errorf("mc: explore: program %q has no main function %q", p.Name, p.Main)
+		}
+		init.threads = []thr{{frames: []frm{newFrame(mainFn, nil, ir.NoReg)}}}
+	}
+	return e, init, nil
+}
+
+// Explore enumerates the reachable final states of the program under
+// cfg.Mode. With threadFns set, the named functions run concurrently from
+// the initial global state (the litmus configuration, compatible with
+// tso.Explore). With threadFns nil, exploration starts from the program's
+// main function and follows Spawn/Join/Call, so whole corpus programs can
+// be checked. A Truncated result means the state budget ran out; callers
+// must treat it as inconclusive, never as a verdict.
+func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
+	e, init, err := newEngine(p, threadFns, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = e.cfg
+	e.inflight.Store(1)
+	e.handoff <- &node{s: init}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker(&workerCtx{encBuf: make([]byte, 0, 256)})
+		}()
+	}
+	wg.Wait()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	res := &StateSet{
+		Outcomes:  e.outcomes,
+		Visited:   e.visited.Load(),
+		Truncated: e.truncated.Load(),
+	}
+	return res, nil
+}
+
+func (e *engine) worker(w *workerCtx) {
+	for {
+		var n *node
+		if len(w.local) > 0 {
+			n = w.local[len(w.local)-1]
+			w.local = w.local[:len(w.local)-1]
+		} else {
+			e.hungry.Add(1)
+			select {
+			case n = <-e.handoff:
+				e.hungry.Add(-1)
+			case <-e.done:
+				e.hungry.Add(-1)
+				return
+			}
+		}
+		e.expand(w, n)
+		if e.inflight.Add(-1) == 0 {
+			e.closeOnce.Do(func() { close(e.done) })
+		}
+		// Feed hungry workers from the cold (root-near) end of the stack:
+		// those nodes head the largest unexplored subtrees.
+	offload:
+		for len(w.local) > 1 && e.hungry.Load() > 0 {
+			select {
+			case e.handoff <- w.local[0]:
+				w.local = w.local[1:]
+			default:
+				break offload
+			}
+		}
+	}
+}
+
+func (e *engine) fail(err error) {
+	e.outMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.outMu.Unlock()
+	e.truncated.Store(true) // drain the frontier quickly
+}
+
+// expand explores one frontier node: records terminal outcomes, computes
+// the transition set to fire (persistent singleton, fresh sleep complement,
+// or revisit delta), executes each transition and enqueues the children
+// that survive the seen-set filter.
+func (e *engine) expand(w *workerCtx, n *node) {
+	if e.truncated.Load() {
+		return // budget blown or failed: drain the frontier uncounted
+	}
+	v := e.visited.Add(1)
+	if v > e.cfg.MaxStates {
+		e.truncated.Store(true)
+		return
+	}
+	s := n.s
+	if s.terminal() {
+		e.record(s, "")
+		return
+	}
+	a := e.analyze(s)
+	if a.enabled == 0 {
+		e.record(s, "!deadlock")
+		return
+	}
+
+	sleep := n.sleep & a.enabled
+	var T uint32
+	switch {
+	case n.revisit != 0:
+		T = n.revisit & a.enabled
+	case e.cfg.NoPOR:
+		T = a.enabled
+		sleep = 0
+	default:
+		// Persistent singleton: an invisible, non-branching transition is
+		// independent of everything other threads can ever do before it
+		// runs, so it can be fired alone. Br/Jmp are excluded so that every
+		// cycle of the state graph retains a fully-expanded state (the
+		// cycle proviso); without that, a spinning thread could starve the
+		// transitions of its peers out of the reduced graph.
+		for bit := 0; bit < 2*MaxThreads; bit++ {
+			if a.enabled&(1<<uint(bit)) != 0 && a.fps[bit].det {
+				T = 1 << uint(bit)
+				break
+			}
+		}
+		if T == 0 {
+			T = a.enabled &^ sleep
+		}
+	}
+
+	cur := sleep
+	for bit := 0; bit < 2*MaxThreads; bit++ {
+		tb := uint32(1) << uint(bit)
+		if T&tb == 0 {
+			continue
+		}
+		child := s.clone()
+		if bit < MaxThreads {
+			if err := e.applyStep(child, bit); err != nil {
+				e.fail(err)
+				return
+			}
+		} else {
+			applyDrain(child, bit-MaxThreads)
+		}
+		// The child sleeps on every already-covered transition that
+		// commutes with the one just fired.
+		var childSleep uint32
+		for sb := 0; sb < 2*MaxThreads; sb++ {
+			if cur&(1<<uint(sb)) != 0 && indep(&a, sb, bit) {
+				childSleep |= 1 << uint(sb)
+			}
+		}
+		e.enqueue(w, child, childSleep)
+		cur |= tb
+	}
+}
+
+// enqueue runs the seen-set protocol for a freshly produced state and, if
+// it needs (re-)expansion, pushes it on the worker's frontier.
+func (e *engine) enqueue(w *workerCtx, s *state, sleep uint32) {
+	if e.truncated.Load() {
+		return
+	}
+	w.encBuf = e.encode(s, w.encBuf)
+	key := string(w.encBuf)
+	sh := &e.shards[fnv1a(w.encBuf)%nShards]
+
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]uint32)
+	}
+	prev, seen := sh.m[key]
+	var n *node
+	switch {
+	case !seen:
+		sh.m[key] = sleep
+		n = &node{s: s, sleep: sleep}
+	case prev&^sleep == 0:
+		// Already covered for a sleep set at least as permissive: prune.
+	default:
+		// Previously slept transitions wake up: expand just those.
+		sh.m[key] = prev & sleep
+		n = &node{s: s, sleep: sleep, revisit: prev &^ sleep}
+	}
+	sh.mu.Unlock()
+
+	if n != nil {
+		e.inflight.Add(1)
+		w.local = append(w.local, n)
+	}
+}
+
+// record registers a terminal (or deadlocked) state's global values.
+func (e *engine) record(s *state, suffix string) {
+	vec := append([]int64(nil), s.mem[1:1+e.gwords]...)
+	key := e.outcomeKey(s, suffix)
+	e.outMu.Lock()
+	if _, ok := e.outcomes[key]; !ok {
+		e.outcomes[key] = vec
+	}
+	e.outMu.Unlock()
+}
+
+// Keys returns the printable outcome keys, sorted.
+func (s *StateSet) Keys() []string {
+	keys := make([]string, 0, len(s.Outcomes))
+	for k := range s.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,611 @@
+// Package mc is a parallel stateless model checker for the module's IR
+// running on the x86-TSO (or SC) machine of package tso. It is the
+// verification subsystem behind fenceplace.Certify: it enumerates every
+// reachable final state of a program under both memory models and decides
+// whether a fence placement restores sequential consistency, producing a
+// counterexample schedule when it does not.
+//
+// Compared with the legacy sequential enumerator (tso.Explore) the engine
+// adds three things:
+//
+//   - canonical state hashing: states are encoded into a compact canonical
+//     byte string (memory, per-thread frame stacks, store buffers), so
+//     structurally identical states met along different interleavings are
+//     explored once;
+//
+//   - partial-order reduction: a persistent-set rule executes invisible
+//     transitions (register ops, buffered stores, forwarded loads, frame
+//     pushes/pops) immediately without branching on other threads, and
+//     sleep sets prune commuting interleavings of the remaining visible
+//     transitions. Reduction preserves the reachable final-state set, which
+//     is the property certification compares;
+//
+//   - a sharded work-stealing worker pool: every worker owns a frontier
+//     stack and a shard of the seen set; surplus states are handed off to
+//     hungry workers over a channel, so exploration scales with GOMAXPROCS
+//     instead of dying at a fixed sequential budget.
+//
+// Unlike tso.Explore, the engine also executes Call, Spawn, Join, Alloca
+// and Malloc, so whole corpus programs (main spawning workers) can be
+// explored, not just flat litmus threads. Thread exit models pthread
+// semantics exactly like tso.Run: a finishing thread's buffered stores
+// become visible atomically at its final Ret.
+package mc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/tso"
+)
+
+// MaxThreads bounds the number of simultaneously live threads the engine
+// can track; transition identities are packed into a 32-bit sleep mask
+// (one step bit and one drain bit per thread).
+const MaxThreads = 16
+
+// ErrTruncated is wrapped by exploration results whose state budget was
+// exhausted: the verdict would be unsound, so callers must treat it as an
+// explicit failure, never as "no violation found".
+var ErrTruncated = errors.New("mc: state budget exhausted, exploration truncated")
+
+// Config parameterizes an exploration.
+type Config struct {
+	Mode      tso.Mode
+	BufferCap int   // store buffer capacity (default 4)
+	MaxStates int64 // state budget; exceeded => Truncated (default 1<<21)
+	MemoryCap int   // arena limit in words (default 1<<16)
+	Workers   int   // worker goroutines (default GOMAXPROCS)
+	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferCap == 0 {
+		c.BufferCap = 4
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 1 << 21
+	}
+	if c.MemoryCap == 0 {
+		c.MemoryCap = 1 << 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// StateSet is the set of reachable final states of an exploration, keyed by
+// a printable form of the final global values (suffixed with "!assert" or
+// "!deadlock" for failing terminals).
+type StateSet struct {
+	Outcomes  map[string][]int64
+	Visited   int64
+	Truncated bool
+}
+
+// Has reports whether a final state assigning the given scalar-global
+// values was reached. Globals not mentioned may hold anything.
+func (s *StateSet) Has(want map[string]int64, prog *ir.Program) bool {
+	idx := make(map[string]int, len(prog.Globals))
+	off := 0
+	for _, g := range prog.Globals {
+		idx[g.Name] = off
+		off += g.Size
+	}
+	for _, vec := range s.Outcomes {
+		match := true
+		for name, v := range want {
+			off, ok := idx[name]
+			if !ok || vec[off] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// --- machine state -----------------------------------------------------------
+
+type bufEntry struct {
+	addr, val int64
+}
+
+type frm struct {
+	fn     *ir.Fn
+	blk    *ir.Block
+	idx    int
+	regs   []int64
+	retDst ir.Reg
+}
+
+type thr struct {
+	frames []frm
+	buf    []bufEntry
+	done   bool
+}
+
+type state struct {
+	mem     []int64
+	threads []thr
+	failed  bool // an Assert tripped somewhere on the path to this state
+}
+
+func (s *state) clone() *state {
+	n := &state{mem: append([]int64(nil), s.mem...), failed: s.failed}
+	n.threads = make([]thr, len(s.threads))
+	for i := range s.threads {
+		t := &s.threads[i]
+		nt := &n.threads[i]
+		nt.done = t.done
+		nt.buf = append([]bufEntry(nil), t.buf...)
+		nt.frames = make([]frm, len(t.frames))
+		for j := range t.frames {
+			f := &t.frames[j]
+			nt.frames[j] = frm{
+				fn: f.fn, blk: f.blk, idx: f.idx, retDst: f.retDst,
+				regs: append([]int64(nil), f.regs...),
+			}
+		}
+	}
+	return n
+}
+
+func (s *state) terminal() bool {
+	for i := range s.threads {
+		if !s.threads[i].done || len(s.threads[i].buf) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// top returns the executing frame of a live thread.
+func (t *thr) top() *frm { return &t.frames[len(t.frames)-1] }
+
+// next returns the next instruction of a live thread.
+func (t *thr) next() *ir.Instr {
+	f := t.top()
+	return f.blk.Instrs[f.idx]
+}
+
+// encode renders the state into its canonical byte form, appending to buf
+// (callers keep a per-worker buffer to avoid allocation churn). Block
+// identity is (function index, block id), so the encoding is stable across
+// workers.
+func (e *engine) encode(s *state, buf []byte) []byte {
+	b := buf[:0]
+	if s.failed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendVarint(b, int64(len(s.mem)))
+	for _, v := range s.mem {
+		b = binary.AppendVarint(b, v)
+	}
+	for i := range s.threads {
+		t := &s.threads[i]
+		flag := byte(0)
+		if t.done {
+			flag = 1
+		}
+		b = append(b, '|', flag)
+		b = binary.AppendVarint(b, int64(len(t.buf)))
+		for _, en := range t.buf {
+			b = binary.AppendVarint(b, en.addr)
+			b = binary.AppendVarint(b, en.val)
+		}
+		b = binary.AppendVarint(b, int64(len(t.frames)))
+		for j := range t.frames {
+			f := &t.frames[j]
+			b = binary.AppendVarint(b, int64(e.fnIdx[f.fn]))
+			b = binary.AppendVarint(b, int64(f.blk.ID()))
+			b = binary.AppendVarint(b, int64(f.idx))
+			b = binary.AppendVarint(b, int64(f.retDst))
+			for _, r := range f.regs {
+				b = binary.AppendVarint(b, r)
+			}
+		}
+	}
+	return b
+}
+
+// --- transitions -------------------------------------------------------------
+
+// A transition is identified by a bit in a 32-bit mask: bit t is "thread t
+// executes its next instruction", bit MaxThreads+t is "thread t drains the
+// oldest entry of its store buffer".
+func stepBit(tid int) uint32  { return 1 << uint(tid) }
+func drainBit(tid int) uint32 { return 1 << uint(MaxThreads+tid) }
+
+// fp is the shared-memory footprint of one enabled transition, evaluated in
+// a concrete state (addresses are exact, not abstract).
+type fp struct {
+	reads  []int64
+	writes []int64
+	local  bool // no visible effect: independent of every other thread
+	det    bool // safe persistent singleton: local and never part of a cycle
+	alloc  bool // moves the arena bump pointer
+	univ   bool // conservatively dependent with everything (Spawn)
+}
+
+// analysis is the per-state expansion record: the enabled transition mask
+// plus the footprint of every enabled transition.
+type analysis struct {
+	enabled uint32
+	fps     [2 * MaxThreads]fp
+}
+
+// analyze computes the enabled transitions of s and their footprints.
+func (e *engine) analyze(s *state) analysis {
+	var a analysis
+	for tid := range s.threads {
+		t := &s.threads[tid]
+		if e.cfg.Mode == tso.TSO && len(t.buf) > 0 {
+			a.enabled |= drainBit(tid)
+			a.fps[MaxThreads+tid] = fp{writes: []int64{t.buf[0].addr}}
+		}
+		if t.done {
+			continue
+		}
+		in := t.next()
+		if in.Kind == ir.Join {
+			// A join is enabled only once its target has finished; an
+			// out-of-range id is "enabled" so apply can surface the error.
+			target := t.top().regs[in.A]
+			if target >= 0 && target < int64(len(s.threads)) && !s.threads[target].done {
+				continue
+			}
+		}
+		a.enabled |= stepBit(tid)
+		a.fps[tid] = e.stepFP(s, tid, in)
+	}
+	return a
+}
+
+func bufAddrs(t *thr) []int64 {
+	out := make([]int64, len(t.buf))
+	for i, en := range t.buf {
+		out[i] = en.addr
+	}
+	return out
+}
+
+// stepFP evaluates the footprint of thread tid executing in from s.
+func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
+	t := &s.threads[tid]
+	f := t.top()
+	tso_ := e.cfg.Mode == tso.TSO
+	directAddr := func() int64 {
+		off := int64(0)
+		if in.Idx != ir.NoReg {
+			off = f.regs[in.Idx]
+		}
+		return e.base[in.G] + off
+	}
+	forwarded := func(addr int64) bool {
+		for i := len(t.buf) - 1; i >= 0; i-- {
+			if t.buf[i].addr == addr {
+				return true
+			}
+		}
+		return false
+	}
+	switch in.Kind {
+	case ir.Const, ir.Move, ir.BinOp, ir.AddrOf, ir.Gep, ir.Assert, ir.Print, ir.Call, ir.Join:
+		return fp{local: true, det: true}
+	case ir.Br, ir.Jmp:
+		// Local, but never a persistent singleton: every cycle in the state
+		// graph contains a Br/Jmp, so expanding these states fully is the
+		// cycle proviso that keeps the reduction from ignoring threads.
+		return fp{local: true}
+	case ir.Ret:
+		if len(t.frames) == 1 && tso_ && len(t.buf) > 0 {
+			// Thread exit publishes the store buffer (pthread semantics).
+			return fp{writes: bufAddrs(t)}
+		}
+		return fp{local: true, det: true}
+	case ir.Load, ir.LoadPtr:
+		var addr int64
+		if in.Kind == ir.Load {
+			addr = directAddr()
+		} else {
+			addr = f.regs[in.Addr]
+		}
+		if tso_ && forwarded(addr) {
+			return fp{local: true, det: true}
+		}
+		return fp{reads: []int64{addr}}
+	case ir.Store, ir.StorePtr:
+		if tso_ {
+			if len(t.buf) >= e.cfg.BufferCap {
+				// Buffer pressure forces the oldest entry to memory.
+				return fp{writes: []int64{t.buf[0].addr}}
+			}
+			return fp{local: true, det: true} // store lands in the buffer
+		}
+		var addr int64
+		if in.Kind == ir.Store {
+			addr = directAddr()
+		} else {
+			addr = f.regs[in.Addr]
+		}
+		return fp{writes: []int64{addr}}
+	case ir.CAS, ir.FetchAdd:
+		addr := f.regs[in.Addr]
+		return fp{reads: []int64{addr}, writes: append(bufAddrs(t), addr)}
+	case ir.Fence:
+		if ir.FenceKind(in.Imm) == ir.FenceFull && tso_ && len(t.buf) > 0 {
+			return fp{writes: bufAddrs(t)}
+		}
+		return fp{local: true, det: true}
+	case ir.Alloca, ir.Malloc:
+		return fp{alloc: true}
+	case ir.Spawn:
+		return fp{univ: true}
+	}
+	return fp{univ: true} // unknown kinds: maximally conservative
+}
+
+func addrsIntersect(a, b []int64) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// indep reports whether two transitions (identified by bit index into
+// a.fps) of different threads commute in the analyzed state.
+func indep(a *analysis, i, j int) bool {
+	ti, tj := i%MaxThreads, j%MaxThreads
+	if ti == tj {
+		return false
+	}
+	fi, fj := &a.fps[i], &a.fps[j]
+	if fi.univ || fj.univ {
+		return false
+	}
+	if fi.alloc && fj.alloc {
+		return false
+	}
+	if addrsIntersect(fi.writes, fj.writes) ||
+		addrsIntersect(fi.writes, fj.reads) ||
+		addrsIntersect(fi.reads, fj.writes) {
+		return false
+	}
+	return true
+}
+
+// --- execution ---------------------------------------------------------------
+
+// applyDrain retires the oldest buffered store of thread tid, in place.
+func applyDrain(s *state, tid int) {
+	t := &s.threads[tid]
+	en := t.buf[0]
+	t.buf = t.buf[1:]
+	s.mem[en.addr] = en.val
+}
+
+// applyStep executes the next instruction of thread tid, in place. It
+// mirrors tso.Run's semantics exactly (including forced drains, LOCK-prefix
+// RMWs and thread-exit buffer publication) minus cost accounting.
+func (e *engine) applyStep(s *state, tid int) error {
+	t := &s.threads[tid]
+	f := t.top()
+	in := f.blk.Instrs[f.idx]
+	tsoMode := e.cfg.Mode == tso.TSO
+	advance := true
+
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("mc: thread %d in %s: %s", tid, f.fn.Name, fmt.Sprintf(format, args...))
+	}
+	directAddr := func(g *ir.Global, idx ir.Reg) (int64, error) {
+		off := int64(0)
+		if idx != ir.NoReg {
+			off = f.regs[idx]
+		}
+		if off < 0 || off >= int64(g.Size) {
+			return 0, fail("index %d out of bounds for global %s[%d]", off, g.Name, g.Size)
+		}
+		return e.base[g] + off, nil
+	}
+	checkAddr := func(addr int64) error {
+		if addr <= 0 || addr >= int64(len(s.mem)) {
+			return fail("wild address %d (memory has %d words)", addr, len(s.mem))
+		}
+		return nil
+	}
+	load := func(addr int64) int64 {
+		if tsoMode {
+			for i := len(t.buf) - 1; i >= 0; i-- {
+				if t.buf[i].addr == addr {
+					return t.buf[i].val
+				}
+			}
+		}
+		return s.mem[addr]
+	}
+	store := func(addr, val int64) {
+		if tsoMode {
+			if len(t.buf) >= e.cfg.BufferCap {
+				applyDrain(s, tid)
+			}
+			t.buf = append(t.buf, bufEntry{addr, val})
+			return
+		}
+		s.mem[addr] = val
+	}
+	drainAll := func() {
+		for len(t.buf) > 0 {
+			applyDrain(s, tid)
+		}
+	}
+	alloc := func(n int64) (int64, error) {
+		if len(s.mem)+int(n) > e.cfg.MemoryCap {
+			return 0, fail("arena exhausted (%d words requested at %d)", n, len(s.mem))
+		}
+		addr := int64(len(s.mem))
+		s.mem = append(s.mem, make([]int64, n)...)
+		return addr, nil
+	}
+
+	switch in.Kind {
+	case ir.Const:
+		f.regs[in.Dst] = in.Imm
+	case ir.Move:
+		f.regs[in.Dst] = f.regs[in.A]
+	case ir.BinOp:
+		f.regs[in.Dst] = ir.EvalBinOp(in.Op, f.regs[in.A], f.regs[in.B])
+	case ir.Load:
+		addr, err := directAddr(in.G, in.Idx)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Dst] = load(addr)
+	case ir.Store:
+		addr, err := directAddr(in.G, in.Idx)
+		if err != nil {
+			return err
+		}
+		store(addr, f.regs[in.A])
+	case ir.LoadPtr:
+		addr := f.regs[in.Addr]
+		if err := checkAddr(addr); err != nil {
+			return err
+		}
+		f.regs[in.Dst] = load(addr)
+	case ir.StorePtr:
+		addr := f.regs[in.Addr]
+		if err := checkAddr(addr); err != nil {
+			return err
+		}
+		store(addr, f.regs[in.A])
+	case ir.AddrOf:
+		addr, err := directAddr(in.G, in.Idx)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Dst] = addr
+	case ir.Gep:
+		f.regs[in.Dst] = f.regs[in.A] + f.regs[in.B]
+	case ir.Alloca, ir.Malloc:
+		addr, err := alloc(in.Imm)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Dst] = addr
+	case ir.CAS:
+		addr := f.regs[in.Addr]
+		if err := checkAddr(addr); err != nil {
+			return err
+		}
+		drainAll()
+		if s.mem[addr] == f.regs[in.A] {
+			s.mem[addr] = f.regs[in.B]
+			f.regs[in.Dst] = 1
+		} else {
+			f.regs[in.Dst] = 0
+		}
+	case ir.FetchAdd:
+		addr := f.regs[in.Addr]
+		if err := checkAddr(addr); err != nil {
+			return err
+		}
+		drainAll()
+		f.regs[in.Dst] = s.mem[addr]
+		s.mem[addr] += f.regs[in.A]
+	case ir.Fence:
+		if ir.FenceKind(in.Imm) == ir.FenceFull {
+			drainAll()
+		}
+	case ir.Br:
+		if f.regs[in.A] != 0 {
+			f.blk, f.idx = in.Then, 0
+		} else {
+			f.blk, f.idx = in.Else, 0
+		}
+		advance = false
+	case ir.Jmp:
+		f.blk, f.idx = in.Then, 0
+		advance = false
+	case ir.Ret:
+		var val int64
+		if in.A != ir.NoReg {
+			val = f.regs[in.A]
+		}
+		retDst := f.retDst
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) == 0 {
+			t.done = true
+			drainAll() // exit publishes the buffer, like tso.Run
+		} else if retDst != ir.NoReg {
+			t.top().regs[retDst] = val
+		}
+		advance = false
+	case ir.Call:
+		callee := e.prog.Fn(in.Callee)
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.regs[a]
+		}
+		f.idx++ // return to the next instruction
+		t.frames = append(t.frames, newFrame(callee, args, in.Dst))
+		advance = false
+	case ir.Spawn:
+		drainAll() // thread creation synchronizes
+		if len(s.threads) >= MaxThreads {
+			return fail("spawn exceeds the %d-thread limit of the model checker", MaxThreads)
+		}
+		callee := e.prog.Fn(in.Callee)
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.regs[a]
+		}
+		ntid := len(s.threads)
+		s.threads = append(s.threads, thr{frames: []frm{newFrame(callee, args, ir.NoReg)}})
+		// NB: appending may have moved the threads slice; refresh t and f.
+		t = &s.threads[tid]
+		f = t.top()
+		if in.Dst != ir.NoReg {
+			f.regs[in.Dst] = int64(ntid)
+		}
+	case ir.Join:
+		target := f.regs[in.A]
+		if target < 0 || target >= int64(len(s.threads)) {
+			return fail("join of invalid thread id %d", target)
+		}
+		// enabledness guaranteed the target is done
+	case ir.Assert:
+		if f.regs[in.A] == 0 {
+			s.failed = true
+		}
+	case ir.Print:
+		// no observable effect on final state
+	default:
+		return fail("cannot execute %s", in.Kind)
+	}
+
+	if advance {
+		f = t.top()
+		f.idx++
+	}
+	return nil
+}
+
+func newFrame(fn *ir.Fn, args []int64, retDst ir.Reg) frm {
+	regs := make([]int64, fn.NRegs)
+	copy(regs, args)
+	return frm{fn: fn, blk: fn.Entry(), idx: 0, regs: regs, retDst: retDst}
+}

@@ -631,53 +631,6 @@ func (m *machine) step(t *thread) {
 	}
 }
 
-func evalBinOp(op ir.Op, a, b int64) int64 {
-	switch op {
-	case ir.OpAdd:
-		return a + b
-	case ir.OpSub:
-		return a - b
-	case ir.OpMul:
-		return a * b
-	case ir.OpDiv:
-		if b == 0 {
-			return 0
-		}
-		return a / b
-	case ir.OpMod:
-		if b == 0 {
-			return 0
-		}
-		return a % b
-	case ir.OpAnd:
-		return a & b
-	case ir.OpOr:
-		return a | b
-	case ir.OpXor:
-		return a ^ b
-	case ir.OpShl:
-		return a << (uint64(b) & 63)
-	case ir.OpShr:
-		return a >> (uint64(b) & 63)
-	case ir.OpEq:
-		return b2i(a == b)
-	case ir.OpNe:
-		return b2i(a != b)
-	case ir.OpLt:
-		return b2i(a < b)
-	case ir.OpLe:
-		return b2i(a <= b)
-	case ir.OpGt:
-		return b2i(a > b)
-	case ir.OpGe:
-		return b2i(a >= b)
-	}
-	return 0
-}
-
-func b2i(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
+// evalBinOp delegates to the IR's single arithmetic definition so the
+// simulator and the model checker can never diverge on pure operations.
+func evalBinOp(op ir.Op, a, b int64) int64 { return ir.EvalBinOp(op, a, b) }
