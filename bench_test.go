@@ -1,4 +1,4 @@
-package fenceplace
+package fenceplace_test
 
 // One benchmark per table and figure of the paper's evaluation, plus
 // ablation benches for the design choices DESIGN.md calls out. Run with:
@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"fenceplace"
 
 	"fenceplace/internal/acquire"
 	"fenceplace/internal/alias"
@@ -31,7 +33,7 @@ import (
 // signature (the paper's Table II study).
 func BenchmarkTable2(b *testing.B) {
 	kernels := progs.ByKind(progs.SyncKernel)
-	built := make([]*Program, len(kernels))
+	built := make([]*fenceplace.Program, len(kernels))
 	for i, m := range kernels {
 		built[i] = m.Default()
 	}
@@ -65,10 +67,10 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 // evalPrograms builds the Figure 7-10 corpus once.
-func evalPrograms(b *testing.B) []*Program {
+func evalPrograms(b *testing.B) []*fenceplace.Program {
 	b.Helper()
 	set := progs.EvalSet()
-	out := make([]*Program, len(set))
+	out := make([]*fenceplace.Program, len(set))
 	for i, m := range set {
 		out[i] = m.Default()
 	}
@@ -119,9 +121,9 @@ func BenchmarkFigure9(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range ps {
-			pen := Analyze(p, PensieveOnly)
-			ac := Analyze(p, AddressControl)
-			ctl := Analyze(p, Control)
+			pen := fenceplace.Analyze(p, fenceplace.PensieveOnly)
+			ac := fenceplace.Analyze(p, fenceplace.AddressControl)
+			ctl := fenceplace.Analyze(p, fenceplace.Control)
 			if ctl.FullFences > ac.FullFences || ac.FullFences > pen.FullFences {
 				b.Fatal("fence monotonicity violated")
 			}
@@ -146,9 +148,71 @@ func BenchmarkFigure10(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAll measures corpus-scale static analysis — every
+// evaluation program under all three strategies — in two architectures:
+//
+//	sequential    three independent seed-style Analyze calls per program,
+//	              walking the corpus one program at a time (the pre-session
+//	              pipeline shape);
+//	session/j=N   one shared Analyzer session per program (alias, escape
+//	              and ordering generation run once for all strategies),
+//	              with the corpus fanned out over N workers.
+//
+// Both report programs/s. On ≥4 cores the shared-session run must beat the
+// sequential sweep by ≥2x (pass sharing alone saves ~2/3 of the pass work;
+// the fan-out stacks on top).
+func BenchmarkAnalyzeAll(b *testing.B) {
+	set := progs.EvalSet()
+	strategies := []fenceplace.Strategy{
+		fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control,
+	}
+	var sink int
+	b.Run("sequential", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, m := range set {
+				p := m.Default()
+				for _, s := range strategies {
+					sink += fenceplace.Analyze(p, s).FullFences
+				}
+				pm := m.Defaults
+				pm.Manual = true
+				sink += m.Build(pm).NumInstrs()
+				n++
+			}
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "programs/s")
+	})
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("session/j=%d", w), func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				rows := exp.AnalyzeAllN(progs.Params{}, w)
+				if len(rows) != len(set) {
+					b.Fatalf("analyzed %d programs, want %d", len(rows), len(set))
+				}
+				for _, r := range rows {
+					sink += r.Fences(exp.Control)
+				}
+				n += len(rows)
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "programs/s")
+		})
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
 // BenchmarkManualTable exercises the §5.3 expert builds under TSO.
 func BenchmarkManualTable(b *testing.B) {
-	var built []*Program
+	var built []*fenceplace.Program
 	for _, m := range progs.EvalSet() {
 		pp := m.Defaults
 		pp.Manual = true
@@ -196,12 +260,12 @@ func BenchmarkCertify(b *testing.B) {
 		pp := m.Defaults
 		pp.Threads = tc.threads
 		pp.Size = tc.size
-		res := Analyze(m.Build(pp), Control)
+		res := fenceplace.Analyze(m.Build(pp), fenceplace.Control)
 		for _, w := range workerCounts {
 			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
 				var states int64
 				for i := 0; i < b.N; i++ {
-					rep, err := CertifyOpt(res, nil, CertOptions{Workers: w})
+					rep, err := fenceplace.CertifyOpt(res, nil, fenceplace.CertOptions{Workers: w})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -223,7 +287,7 @@ func BenchmarkCertifyVsNaive(b *testing.B) {
 	pp := m.Defaults
 	pp.Threads = 2
 	pp.Size = 1
-	res := Analyze(m.Build(pp), Control)
+	res := fenceplace.Analyze(m.Build(pp), fenceplace.Control)
 	for _, mode := range []struct {
 		name  string
 		nopor bool

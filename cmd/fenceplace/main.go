@@ -6,6 +6,10 @@
 //	fenceplace -prog dekker -strategy control -dump   # print instrumented IR
 //	fenceplace -prog msqueue -annotate        # emit minimal DRF annotations
 //	fenceplace -file prog.ir -run             # analyze a file, then run it
+//	fenceplace -prog msqueue -timing          # report per-pass wall times
+//
+// All strategies share one analysis session, so -strategy all runs the
+// alias/escape/ordering passes once; -j bounds the per-function workers.
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 		run      = flag.Bool("run", false, "execute the instrumented program on the TSO simulator")
 		seed     = flag.Int64("seed", 0, "simulator seed for -run")
 		annot    = flag.Bool("annotate", false, "emit minimal DRF annotations instead of fences (paper §1.3)")
+		timing   = flag.Bool("timing", false, "report per-pass wall times in each summary")
+		jobs     = flag.Int("j", 0, "per-function analysis workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -87,8 +93,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One analyzer for all strategies: the shared session computes the
+	// strategy-independent passes once.
+	var opts []fenceplace.AnalyzerOption
+	if *timing {
+		opts = append(opts, fenceplace.WithTiming())
+	}
+	if *jobs > 0 {
+		opts = append(opts, fenceplace.WithWorkers(*jobs))
+	}
+	az := fenceplace.NewAnalyzer(prog, opts...)
 	for _, s := range strategies {
-		res := fenceplace.Analyze(prog, s)
+		res := az.Analyze(s)
 		fmt.Println(res.Summary())
 		if err := res.Verify(); err != nil {
 			fmt.Fprintf(os.Stderr, "verification failed: %v\n", err)

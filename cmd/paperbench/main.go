@@ -5,6 +5,7 @@
 //	paperbench -table2      # Table II only
 //	paperbench -fig7 -fig9  # selected figures
 //	paperbench -seeds 3     # average Figure 10 over 3 simulator seeds
+//	paperbench -j 4         # analyze the corpus with 4 parallel workers
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		seeds  = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
 		cert   = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
 		budget = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
+		jobs   = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 	if !needRows {
 		return
 	}
-	rows := exp.AnalyzeAll(progs.Params{})
+	rows := exp.AnalyzeAllN(progs.Params{}, *jobs)
 	for _, r := range rows {
 		if err := r.VerifyPlans(); err != nil {
 			fmt.Fprintf(os.Stderr, "fence plan verification failed: %v\n", err)

@@ -20,14 +20,15 @@ package fenceplace
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"time"
 
-	"fenceplace/internal/acquire"
-	"fenceplace/internal/alias"
-	"fenceplace/internal/escape"
 	"fenceplace/internal/fence"
 	"fenceplace/internal/ir"
 	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
+	"fenceplace/internal/passes"
 	"fenceplace/internal/tso"
 )
 
@@ -87,65 +88,224 @@ type Result struct {
 	CompilerBarriers int
 
 	// Instrumented is a clone of Prog with the fences inserted; the
-	// original is never mutated.
+	// original is never mutated. Results produced by the same Analyzer
+	// under the same strategy share one memoized clone — treat it as
+	// read-only (execute it, format it; to edit it, Clone it first). The
+	// one-shot Analyze builds a fresh Analyzer, so its clone is private.
 	Instrumented *Program
+
+	// Timings holds the per-pass wall times of the producing session,
+	// populated only when the Analyzer was built WithTiming; Summary then
+	// appends them to its report.
+	Timings []PassTiming
 
 	plan *fence.Plan
 	kept *orders.Set
+
+	// Verification cache: the correspondence map for Instrumented and the
+	// plan that produced it. Verify reuses the memoized clone only while
+	// plan still is applied (a replaced plan falls back to a fresh Apply).
+	imap    map[*Instr]*Instr
+	applied *fence.Plan
 }
 
-// Analyze runs the complete static pipeline under the given strategy.
-func Analyze(p *Program, s Strategy) *Result {
-	p.Finalize()
-	al := alias.Analyze(p)
-	esc := escape.Analyze(p, al)
-	full := orders.Generate(p, esc)
+// PassTiming is one pipeline pass and its own wall time (excluding the
+// passes it depends on).
+type PassTiming struct {
+	Pass     string
+	Duration time.Duration
+}
+
+// Analyzer is a reusable analysis handle over one program: a shared pass
+// session in which the strategy-independent passes (alias, escape,
+// ordering generation, the slicing indexes) run once and every strategy's
+// pruning and minimization is memoized. Methods are safe for concurrent
+// use; AnalyzeAll evaluates strategies in parallel.
+type Analyzer struct {
+	sess    *passes.Session
+	timing  bool
+	workers int
+}
+
+// AnalyzerOption configures an Analyzer.
+type AnalyzerOption func(*Analyzer)
+
+// WithWorkers bounds the analyzer's per-function fan-out; n < 1 means
+// GOMAXPROCS.
+func WithWorkers(n int) AnalyzerOption {
+	return func(a *Analyzer) { a.workers = n }
+}
+
+// WithTiming makes every produced Result carry per-pass wall times, which
+// Summary then reports.
+func WithTiming() AnalyzerOption {
+	return func(a *Analyzer) { a.timing = true }
+}
+
+// NewAnalyzer finalizes the program and prepares a shared analysis
+// session. Passes run lazily on first demand and are computed once across
+// all strategies.
+func NewAnalyzer(p *Program, opts ...AnalyzerOption) *Analyzer {
+	a := &Analyzer{}
+	for _, o := range opts {
+		o(a)
+	}
+	a.sess = passes.NewSession(p, passes.Workers(a.workers))
+	return a
+}
+
+// strategyOf maps the public Strategy onto the pass manager's.
+func strategyOf(s Strategy) passes.Strategy {
+	switch s {
+	case Control:
+		return passes.Control
+	case AddressControl:
+		return passes.AddressControl
+	}
+	return passes.PensieveOnly
+}
+
+// Analyze evaluates one strategy on the shared session: only the pruning,
+// minimization and instrumentation specific to the strategy run anew;
+// everything else is served from the session cache.
+func (a *Analyzer) Analyze(s Strategy) *Result {
+	sess := a.sess
+	st := strategyOf(s)
+	kept := sess.Kept(st)
+	plan := sess.Plan(st)
 
 	res := &Result{
 		Strategy:           s,
-		Prog:               p,
-		EscapingReads:      esc.CountReads(),
-		OrderingsGenerated: full.Total(),
+		Prog:               sess.Program(),
+		EscapingReads:      sess.Escape().CountReads(),
+		OrderingsGenerated: sess.Generated().Total(),
+		OrderingsKept:      kept.Total(),
+		kept:               kept,
+		plan:               plan,
 	}
-	kept := full
-	entry := func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 }
-	if s != PensieveOnly {
-		variant := acquire.Control
-		if s == AddressControl {
-			variant = acquire.AddressControl
-		}
-		acq := acquire.Detect(p, al, esc, variant)
-		for _, f := range p.Funcs {
+	if acq := sess.Acquires(st); acq != nil {
+		for _, f := range sess.Program().Funcs {
 			res.Acquires = append(res.Acquires, acq.SyncReads(f)...)
 		}
-		kept = full.Prune(acq)
-		entry = acq.FnHasSync
 	}
-	res.OrderingsKept = kept.Total()
-	res.kept = kept
-	res.plan = fence.Minimize(kept, fence.Options{EntryFence: entry})
-	res.FullFences = res.plan.FullFences()
-	res.CompilerBarriers = res.plan.CompilerBarriers()
-	res.Instrumented, _ = res.plan.Apply()
+	res.FullFences = plan.FullFences()
+	res.CompilerBarriers = plan.CompilerBarriers()
+	res.Instrumented, res.imap = sess.Applied(st)
+	res.applied = plan
+	if a.timing {
+		res.Timings = a.passTimings(s, st)
+	}
 	return res
 }
 
+// passTimings extracts, in pipeline order, the timings of exactly the
+// passes the strategy depends on. Every listed pass has completed by the
+// time Analyze reads the session (they are dependencies of the plan), so
+// the result is deterministic even when sibling strategies are still
+// recording theirs.
+func (a *Analyzer) passTimings(s Strategy, st passes.Strategy) []PassTiming {
+	byName := make(map[string]time.Duration)
+	for _, t := range a.sess.Timings() {
+		byName[t.Pass] = t.Duration
+	}
+	names := []string{"alias", "escape", "cfg", "orders"}
+	if s != PensieveOnly {
+		names = append(names, "slice-index", "acquire/"+st.String(), "prune/"+st.String())
+	}
+	names = append(names, "minimize/"+st.String(), "apply/"+st.String())
+	var out []PassTiming
+	for _, n := range names {
+		if d, ok := byName[n]; ok {
+			out = append(out, PassTiming{Pass: n, Duration: d})
+		}
+	}
+	return out
+}
+
+// AnalyzeAll evaluates the given strategies (default: all three) in
+// parallel on the shared session, returning results in argument order.
+// The shared passes run once; compared to independent Analyze calls the
+// three-strategy evaluation does roughly a third of the pass work. An
+// analyzer bounded to one worker (WithWorkers(1)) evaluates the
+// strategies inline instead, so it really is single-threaded.
+func (a *Analyzer) AnalyzeAll(strategies ...Strategy) []*Result {
+	if len(strategies) == 0 {
+		strategies = []Strategy{PensieveOnly, Control, AddressControl}
+	}
+	out := make([]*Result, len(strategies))
+	if a.workers == 1 {
+		for i, s := range strategies {
+			out[i] = a.Analyze(s)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(strategies))
+	for i, s := range strategies {
+		go func(i int, s Strategy) {
+			defer wg.Done()
+			out[i] = a.Analyze(s)
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// Analyze runs the complete static pipeline under the given strategy. It
+// is the one-shot convenience over NewAnalyzer; callers evaluating several
+// strategies on one program should hold an Analyzer so the shared passes
+// run once.
+func Analyze(p *Program, s Strategy) *Result {
+	return NewAnalyzer(p).Analyze(s)
+}
+
+// CoverageError is the structured verification failure Verify returns: the
+// uncovered ordering plus its location in the instrumented program and the
+// fences present in the offending function (see internal/fence).
+type CoverageError = fence.CoverageError
+
 // Verify re-checks that the placed fences cover every kept ordering along
 // all control-flow paths. Analyze always produces covering plans; Verify
-// exists for audit trails and tests.
+// exists for audit trails and tests. On failure the error is a
+// *CoverageError carrying the uncovered ordering, its instrumented-program
+// endpoints and the function's fences (use errors.As to recover it).
 func (r *Result) Verify() error {
-	inst, imap := r.plan.Apply()
+	inst, imap := r.Instrumented, r.imap
+	if imap == nil || r.applied != r.plan {
+		inst, imap = r.plan.Apply()
+	}
 	return fence.Verify(r.kept, fence.Options{}, inst, imap)
 }
 
-// Summary renders a one-paragraph report of the analysis.
+// Kept returns the enforced (post-pruning) ordering set. The returned
+// value is an internal analysis type shared with the session; treat it as
+// read-only. It exists for tooling built on the module (the experiment
+// harness, custom reports).
+func (r *Result) Kept() *orders.Set { return r.kept }
+
+// Plan returns the minimized fence plan behind Instrumented; treat it as
+// read-only (see Kept).
+func (r *Result) Plan() *fence.Plan { return r.plan }
+
+// Summary renders a one-paragraph report of the analysis, followed by
+// per-pass timings when the producing Analyzer was built WithTiming.
 func (r *Result) Summary() string {
 	pruned := r.OrderingsGenerated - r.OrderingsKept
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%s: %d escaping reads, %d acquires detected; %d orderings generated, %d pruned, %d enforced; %d full fences + %d compiler barriers placed",
 		r.Strategy, r.EscapingReads, len(r.Acquires),
 		r.OrderingsGenerated, pruned, r.OrderingsKept,
 		r.FullFences, r.CompilerBarriers)
+	if len(r.Timings) > 0 {
+		var sb strings.Builder
+		sb.WriteString(s)
+		sb.WriteString("\n  passes:")
+		for _, t := range r.Timings {
+			fmt.Fprintf(&sb, " %s=%s", t.Pass, t.Duration.Round(time.Microsecond))
+		}
+		return sb.String()
+	}
+	return s
 }
 
 // RunOutcome is the result of executing a program on the built-in machine.

@@ -1,9 +1,11 @@
 package fenceplace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"fenceplace/internal/fence"
 	"fenceplace/internal/litmus"
 	"fenceplace/internal/progs"
 )
@@ -228,6 +230,110 @@ func TestCertifyMPFromSource(t *testing.T) {
 	}
 	if !rep.Equivalent {
 		t.Fatalf("instrumented MP not certified: %s", rep)
+	}
+}
+
+// TestAnalyzerDifferential is the shared-session equivalence obligation:
+// for every corpus program, AnalyzeAll on one Analyzer must produce output
+// identical — acquires, orderings kept, fences placed, and the full
+// instrumented program text — to three independent seed-style Analyze
+// calls, each computing its passes from scratch. CI runs this under -race,
+// which also exercises the parallel per-function and per-strategy fan-out.
+func TestAnalyzerDifferential(t *testing.T) {
+	strategies := []Strategy{PensieveOnly, AddressControl, Control}
+	for _, m := range progs.EvalSet() {
+		p := m.Default()
+		all := NewAnalyzer(p).AnalyzeAll(strategies...)
+		for i, res := range all {
+			if res.Strategy != strategies[i] {
+				t.Fatalf("%s: result %d is %s, want %s", m.Name, i, res.Strategy, strategies[i])
+			}
+			indep := Analyze(p, res.Strategy)
+			name := m.Name + "/" + res.Strategy.String()
+			if res.EscapingReads != indep.EscapingReads {
+				t.Errorf("%s: %d escaping reads, independent %d", name, res.EscapingReads, indep.EscapingReads)
+			}
+			if len(res.Acquires) != len(indep.Acquires) {
+				t.Errorf("%s: %d acquires, independent %d", name, len(res.Acquires), len(indep.Acquires))
+			} else {
+				for j := range res.Acquires {
+					if res.Acquires[j] != indep.Acquires[j] {
+						t.Errorf("%s: acquire %d differs: [%s] vs [%s]", name, j, res.Acquires[j], indep.Acquires[j])
+					}
+				}
+			}
+			if res.OrderingsGenerated != indep.OrderingsGenerated || res.OrderingsKept != indep.OrderingsKept {
+				t.Errorf("%s: orderings %d/%d, independent %d/%d", name,
+					res.OrderingsGenerated, res.OrderingsKept,
+					indep.OrderingsGenerated, indep.OrderingsKept)
+			}
+			if res.FullFences != indep.FullFences || res.CompilerBarriers != indep.CompilerBarriers {
+				t.Errorf("%s: fences %d+%d, independent %d+%d", name,
+					res.FullFences, res.CompilerBarriers,
+					indep.FullFences, indep.CompilerBarriers)
+			}
+			if got, want := Format(res.Instrumented), Format(indep.Instrumented); got != want {
+				t.Errorf("%s: instrumented programs differ", name)
+			}
+		}
+	}
+}
+
+// TestAnalyzerTimingSummary: WithTiming surfaces per-pass wall times in
+// Summary; without the option the summary stays a single line.
+func TestAnalyzerTimingSummary(t *testing.T) {
+	p := MustParse(mpSrc)
+	az := NewAnalyzer(p, WithTiming())
+	res := az.Analyze(Control)
+	if len(res.Timings) == 0 {
+		t.Fatal("WithTiming produced no pass timings")
+	}
+	s := res.Summary()
+	for _, pass := range []string{"alias", "escape", "orders", "acquire/Control"} {
+		if !strings.Contains(s, pass) {
+			t.Errorf("timed summary missing pass %q:\n%s", pass, s)
+		}
+	}
+	// Timings are filtered per strategy: Control's summary must not carry
+	// other strategies' passes, and Pensieve's must not mention slicing.
+	if strings.Contains(s, "Pensieve") || strings.Contains(s, "Address+Control") {
+		t.Errorf("Control summary leaks other strategies' passes:\n%s", s)
+	}
+	pen := az.Analyze(PensieveOnly).Summary()
+	if strings.Contains(pen, "acquire/") || strings.Contains(pen, "slice-index") {
+		t.Errorf("Pensieve summary leaks acquire passes:\n%s", pen)
+	}
+	plain := NewAnalyzer(MustParse(mpSrc)).Analyze(Control)
+	if len(plain.Timings) != 0 || strings.Contains(plain.Summary(), "passes:") {
+		t.Error("untimed analyzer leaked timings into the summary")
+	}
+}
+
+// TestVerifyCoverageError: a result whose fences are stripped must fail
+// verification with a structured CoverageError naming the gap.
+func TestVerifyCoverageError(t *testing.T) {
+	p := MustParse(mpSrc)
+	res := Analyze(p, Control)
+	if err := res.Verify(); err != nil {
+		t.Fatalf("covering plan rejected: %v", err)
+	}
+	// Rebuild a result with an empty plan over the same kept set: every
+	// w->r ordering is now uncovered.
+	broken := *res
+	broken.plan = &fence.Plan{Prog: res.Prog}
+	err := broken.Verify()
+	if err == nil {
+		t.Fatal("empty plan verified")
+	}
+	var ce *CoverageError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CoverageError: %v", err, err)
+	}
+	if ce.Fn == nil || ce.From == nil || ce.To == nil {
+		t.Errorf("coverage error missing context: %+v", ce)
+	}
+	if !strings.Contains(ce.Error(), "uncovered") || !strings.Contains(ce.Error(), ce.Fn.Name) {
+		t.Errorf("unhelpful coverage error: %v", ce)
 	}
 }
 

@@ -78,21 +78,47 @@ func (r *Result) FnHasSync(f *ir.Fn) bool {
 	return found
 }
 
-// Detect runs the selected variant over every function of the program.
-func Detect(p *ir.Program, al *alias.Analysis, esc *escape.Result, v Variant) *Result {
+// NewResult assembles a Result from per-function flagged-read lists, as
+// produced by DetectFn. A pass manager detects functions in parallel and
+// collects them here.
+func NewResult(v Variant, reads ...[]*ir.Instr) *Result {
 	res := &Result{Variant: v, sync: make(map[*ir.Instr]bool)}
-	for _, f := range p.Funcs {
-		s := slicer.New(f, al, esc)
-		f.Instrs(func(in *ir.Instr) {
-			for _, root := range rootRegs(in, v) {
-				s.SliceFromRegs(root)
-			}
-		})
-		for _, in := range s.SyncReads() {
+	for _, list := range reads {
+		for _, in := range list {
 			res.sync[in] = true
 		}
 	}
 	return res
+}
+
+// DetectFn runs the selected variant's slicing over one function, reusing a
+// prebuilt def/writer index, and returns the flagged reads in program
+// order. The index and escape result are only read, so functions (and
+// variants sharing one index) may be detected concurrently.
+func DetectFn(f *ir.Fn, ix *slicer.Index, esc *escape.Result, v Variant) []*ir.Instr {
+	s := slicer.NewShared(ix, esc)
+	f.Instrs(func(in *ir.Instr) {
+		for _, root := range rootRegs(in, v) {
+			s.SliceFromRegs(root)
+		}
+	})
+	return s.SyncReads()
+}
+
+// Detect runs the selected variant over every function of the program.
+func Detect(p *ir.Program, al *alias.Analysis, esc *escape.Result, v Variant) *Result {
+	lists := make([][]*ir.Instr, 0, len(p.Funcs))
+	for _, f := range p.Funcs {
+		lists = append(lists, DetectFn(f, slicer.NewIndex(f, al), esc, v))
+	}
+	return NewResult(v, lists...)
+}
+
+// SignaturesOf assembles the Table II signature classification from two
+// already-computed detections (Control and AddressOnly), letting a pass
+// session reuse its memoized results.
+func SignaturesOf(ctl, adr *Result) Signatures {
+	return Signatures{Control: ctl.sync, Address: adr.sync}
 }
 
 // rootRegs returns the operand registers to slice from for this instruction
@@ -133,9 +159,7 @@ type Signatures struct {
 
 // Classify computes both signature sets independently.
 func Classify(p *ir.Program, al *alias.Analysis, esc *escape.Result) Signatures {
-	ctl := Detect(p, al, esc, Control)
-	adr := Detect(p, al, esc, AddressOnly)
-	return Signatures{Control: ctl.sync, Address: adr.sync}
+	return SignaturesOf(Detect(p, al, esc, Control), Detect(p, al, esc, AddressOnly))
 }
 
 // HasControl reports whether any read matches the control signature.

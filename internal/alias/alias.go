@@ -91,6 +91,15 @@ type Analysis struct {
 
 	pts      []locset // var id -> pointees
 	contents []locset // loc id -> pointees stored in it
+
+	// Access location sets, precomputed after the solve so every query on
+	// a finished Analysis is a read-only lookup (concurrent passes share
+	// one Analysis without synchronization). accLocs holds the sorted
+	// may-touch set per access; accSet the same set keyed for O(1)
+	// membership; accKnown is false for statically unknown targets.
+	accLocs  map[*ir.Instr][]*Loc
+	accSet   map[*ir.Instr]locset
+	accKnown map[*ir.Instr]bool
 }
 
 // Analyze runs the points-to analysis to fixpoint. The program must have
@@ -132,7 +141,46 @@ func Analyze(p *ir.Program) *Analysis {
 		a.contents[i] = locset{}
 	}
 	a.solve()
+	a.indexAccesses()
 	return a
+}
+
+// indexAccesses materializes the may-touch set of every memory access once
+// the points-to relation is stable. MayAlias and PotentialWriters are the
+// slicer's inner loop; resolving them to set lookups here keeps the hot
+// path allocation-free and leaves the Analysis immutable afterwards.
+func (a *Analysis) indexAccesses() {
+	a.accLocs = make(map[*ir.Instr][]*Loc)
+	a.accSet = make(map[*ir.Instr]locset)
+	a.accKnown = make(map[*ir.Instr]bool)
+	for _, f := range a.prog.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if !in.IsAccess() {
+				return
+			}
+			var set locset
+			switch in.Kind {
+			case ir.Load, ir.Store:
+				set = locset{a.globalLoc[in.G].id: struct{}{}}
+			case ir.LoadPtr, ir.StorePtr, ir.CAS, ir.FetchAdd:
+				set = a.pts[a.varID(f, in.Addr)]
+				if len(set) == 0 {
+					a.accKnown[in] = false
+					return
+				}
+			default:
+				return
+			}
+			locs := make([]*Loc, 0, len(set))
+			for id := range set {
+				locs = append(locs, a.locs[id])
+			}
+			sort.Slice(locs, func(i, j int) bool { return locs[i].id < locs[j].id })
+			a.accLocs[in] = locs
+			a.accSet[in] = set
+			a.accKnown[in] = true
+		})
+	}
 }
 
 func (a *Analysis) varID(f *ir.Fn, r ir.Reg) int {
@@ -284,21 +332,8 @@ func (a *Analysis) Contents(l *Loc) []*Loc {
 // points-to set on a pointer access), in which case the access must be
 // assumed to touch anything.
 func (a *Analysis) AccessLocs(in *ir.Instr) ([]*Loc, bool) {
-	switch in.Kind {
-	case ir.Load, ir.Store:
-		return []*Loc{a.globalLoc[in.G]}, true
-	case ir.LoadPtr, ir.StorePtr, ir.CAS, ir.FetchAdd:
-		f := in.Block().Fn()
-		set := a.pts[a.varID(f, in.Addr)]
-		if len(set) == 0 {
-			return nil, false
-		}
-		out := make([]*Loc, 0, len(set))
-		for id := range set {
-			out = append(out, a.locs[id])
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-		return out, true
+	if known, ok := a.accKnown[in]; ok {
+		return a.accLocs[in], known
 	}
 	return nil, true
 }
@@ -306,20 +341,18 @@ func (a *Analysis) AccessLocs(in *ir.Instr) ([]*Loc, bool) {
 // MayAlias reports whether two memory accesses may touch a common location.
 // Accesses with statically unknown targets alias everything.
 func (a *Analysis) MayAlias(u, v *ir.Instr) bool {
-	lu, okU := a.AccessLocs(u)
-	if !okU {
+	if known, ok := a.accKnown[u]; ok && !known {
 		return true
 	}
-	lv, okV := a.AccessLocs(v)
-	if !okV {
+	if known, ok := a.accKnown[v]; ok && !known {
 		return true
 	}
-	seen := make(map[int]bool, len(lu))
-	for _, l := range lu {
-		seen[l.id] = true
+	su, sv := a.accSet[u], a.accSet[v]
+	if len(su) > len(sv) {
+		su, sv = sv, su
 	}
-	for _, l := range lv {
-		if seen[l.id] {
+	for id := range su {
+		if _, ok := sv[id]; ok {
 			return true
 		}
 	}

@@ -24,6 +24,14 @@ type Result struct {
 	aliases *alias.Analysis
 	escLoc  map[*alias.Loc]bool
 	escAcc  map[*ir.Instr]bool
+
+	// Per-function access lists, materialized once at Analyze time. The
+	// ordering and acquire passes query them per strategy and (in a
+	// session) from several goroutines; precomputing keeps every query a
+	// read-only slice lookup.
+	fnAccs  map[*ir.Fn][]*ir.Instr
+	fnReads map[*ir.Fn][]*ir.Instr
+	nReads  int
 }
 
 // Analyze computes escaping locations and accesses using a previously
@@ -37,7 +45,25 @@ func Analyze(p *ir.Program, al *alias.Analysis) *Result {
 	}
 	r.solveLocs()
 	r.classifyAccesses()
+	r.indexFns()
 	return r
+}
+
+func (r *Result) indexFns() {
+	r.fnAccs = make(map[*ir.Fn][]*ir.Instr, len(r.prog.Funcs))
+	r.fnReads = make(map[*ir.Fn][]*ir.Instr, len(r.prog.Funcs))
+	for _, f := range r.prog.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if !r.escAcc[in] {
+				return
+			}
+			r.fnAccs[f] = append(r.fnAccs[f], in)
+			if in.ReadsMem() {
+				r.fnReads[f] = append(r.fnReads[f], in)
+				r.nReads++
+			}
+		})
+	}
 }
 
 func (r *Result) solveLocs() {
@@ -104,35 +130,15 @@ func (r *Result) LocEscapes(l *alias.Loc) bool { return r.escLoc[l] }
 // AccessEscapes reports whether the memory access may touch escaping state.
 func (r *Result) AccessEscapes(in *ir.Instr) bool { return r.escAcc[in] }
 
-// EscapingAccesses returns fn's escaping accesses in program order.
-func (r *Result) EscapingAccesses(f *ir.Fn) []*ir.Instr {
-	var out []*ir.Instr
-	f.Instrs(func(in *ir.Instr) {
-		if r.escAcc[in] {
-			out = append(out, in)
-		}
-	})
-	return out
-}
+// EscapingAccesses returns fn's escaping accesses in program order. The
+// returned slice is shared; callers must not mutate it.
+func (r *Result) EscapingAccesses(f *ir.Fn) []*ir.Instr { return r.fnAccs[f] }
 
 // EscapingReads returns fn's escaping read-kind accesses in program order.
 // These are the candidate acquires the paper's detection algorithms filter.
-func (r *Result) EscapingReads(f *ir.Fn) []*ir.Instr {
-	var out []*ir.Instr
-	f.Instrs(func(in *ir.Instr) {
-		if r.escAcc[in] && in.ReadsMem() {
-			out = append(out, in)
-		}
-	})
-	return out
-}
+// The returned slice is shared; callers must not mutate it.
+func (r *Result) EscapingReads(f *ir.Fn) []*ir.Instr { return r.fnReads[f] }
 
 // CountReads returns the total number of escaping reads in the program —
 // the denominator of the paper's Figure 7.
-func (r *Result) CountReads() int {
-	n := 0
-	for _, f := range r.prog.Funcs {
-		n += len(r.EscapingReads(f))
-	}
-	return n
-}
+func (r *Result) CountReads() int { return r.nReads }

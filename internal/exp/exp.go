@@ -1,20 +1,20 @@
 // Package exp is the experiment harness: it reruns the paper's evaluation
 // (§5) over the corpus of package progs and renders every table and figure
-// as text. One Row per program carries the whole static pipeline (escape →
-// acquire detection per variant → ordering generation → pruning → fence
-// minimization → instrumented clones), and the dynamic experiment executes
-// the instrumented programs under the TSO simulator.
+// as text. One Row per program carries the whole static pipeline — run
+// through the public fenceplace.Analyzer, whose shared pass session
+// computes the strategy-independent passes once for all three variants —
+// and the dynamic experiment executes the instrumented programs under the
+// TSO simulator. AnalyzeAll fans the corpus out over a worker pool.
 package exp
 
 import (
 	"fmt"
+	"runtime"
 
-	"fenceplace/internal/acquire"
-	"fenceplace/internal/alias"
-	"fenceplace/internal/escape"
-	"fenceplace/internal/fence"
+	"fenceplace"
 	"fenceplace/internal/ir"
 	"fenceplace/internal/orders"
+	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/tso"
 )
@@ -51,6 +51,20 @@ func (v Variant) String() string {
 // Variants lists the strategies in the paper's display order.
 var Variants = [...]Variant{Manual, Pensieve, AddressControl, Control}
 
+// Analyzed lists the variants the static pipeline produces (all but the
+// expert Manual baseline).
+var Analyzed = [...]Variant{Pensieve, AddressControl, Control}
+
+func variantOf(s fenceplace.Strategy) Variant {
+	switch s {
+	case fenceplace.AddressControl:
+		return AddressControl
+	case fenceplace.Control:
+		return Control
+	}
+	return Pensieve
+}
+
 // Row is the full analysis record for one program.
 type Row struct {
 	Meta *progs.Meta
@@ -58,63 +72,59 @@ type Row struct {
 
 	EscReads int // potentially-escaping reads: Figure 7's denominator
 
-	Acq map[Variant]*acquire.Result // Control / AddressControl
-	Ord map[Variant]*orders.Set     // Pensieve (unpruned) + pruned variants
-	Pln map[Variant]*fence.Plan
+	Res map[Variant]*fenceplace.Result // per analyzed variant
 
 	Inst map[Variant]*ir.Program // instrumented clones (Manual = expert build)
 }
 
-// Analyze runs the complete static pipeline on one corpus program.
-func Analyze(m *progs.Meta, p progs.Params) *Row {
+// Analyze runs the complete static pipeline on one corpus program: one
+// Analyzer session shared by all three variants.
+func Analyze(m *progs.Meta, p progs.Params) *Row { return analyzeWith(m, p, 0) }
+
+// analyzeWith is Analyze with an explicit per-function worker bound for
+// the inner session (0 = GOMAXPROCS). Corpus-parallel callers pass 1 so
+// the program-level fan-out is the only one competing for cores.
+func analyzeWith(m *progs.Meta, p progs.Params, innerWorkers int) *Row {
 	prog := m.Build(p)
-	al := alias.Analyze(prog)
-	esc := escape.Analyze(prog, al)
+	var opts []fenceplace.AnalyzerOption
+	if innerWorkers > 0 {
+		opts = append(opts, fenceplace.WithWorkers(innerWorkers))
+	}
+	az := fenceplace.NewAnalyzer(prog, opts...)
+	results := az.AnalyzeAll(
+		fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control)
 
 	row := &Row{
 		Meta: m, Prog: prog,
-		EscReads: esc.CountReads(),
-		Acq:      map[Variant]*acquire.Result{},
-		Ord:      map[Variant]*orders.Set{},
-		Pln:      map[Variant]*fence.Plan{},
-		Inst:     map[Variant]*ir.Program{},
+		Res:  map[Variant]*fenceplace.Result{},
+		Inst: map[Variant]*ir.Program{},
 	}
-	row.Acq[Control] = acquire.Detect(prog, al, esc, acquire.Control)
-	row.Acq[AddressControl] = acquire.Detect(prog, al, esc, acquire.AddressControl)
-
-	full := orders.Generate(prog, esc)
-	row.Ord[Pensieve] = full
-	row.Ord[Control] = full.Prune(row.Acq[Control])
-	row.Ord[AddressControl] = full.Prune(row.Acq[AddressControl])
-
-	// Pensieve has no acquire knowledge: every function with an escaping
-	// read gets an entry fence (§4.4). The pruned variants place one only
-	// in functions that contain detected synchronization reads.
-	row.Pln[Pensieve] = fence.Minimize(full, fence.Options{
-		EntryFence: func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 },
-	})
-	for _, v := range []Variant{Control, AddressControl} {
-		acq := row.Acq[v]
-		row.Pln[v] = fence.Minimize(row.Ord[v], fence.Options{
-			EntryFence: acq.FnHasSync,
-		})
+	for _, res := range results {
+		v := variantOf(res.Strategy)
+		row.Res[v] = res
+		row.Inst[v] = res.Instrumented
 	}
-	for _, v := range []Variant{Pensieve, Control, AddressControl} {
-		inst, _ := row.Pln[v].Apply()
-		row.Inst[v] = inst
-	}
+	row.EscReads = results[0].EscapingReads
 	pm := p
 	pm.Manual = true
 	row.Inst[Manual] = m.Build(pm)
 	return row
 }
 
+// Orderings returns the variant's enforced ordering set (for Pensieve: the
+// full generated set), or nil for variants without an analysis (Manual).
+func (r *Row) Orderings(v Variant) *orders.Set {
+	if res, ok := r.Res[v]; ok {
+		return res.Kept()
+	}
+	return nil
+}
+
 // VerifyPlans checks that every plan covers every ordering of its own set
 // (the static soundness obligation).
 func (r *Row) VerifyPlans() error {
-	for _, v := range []Variant{Pensieve, Control, AddressControl} {
-		inst, imap := r.Pln[v].Apply()
-		if err := fence.Verify(r.Ord[v], fence.Options{}, inst, imap); err != nil {
+	for _, v := range Analyzed {
+		if err := r.Res[v].Verify(); err != nil {
 			return fmt.Errorf("%s/%s: %w", r.Meta.Name, v, err)
 		}
 	}
@@ -128,13 +138,13 @@ func (r *Row) Fences(v Variant) int {
 		full, _ := r.Inst[Manual].CountFences(false)
 		return full
 	}
-	return r.Pln[v].FullFences()
+	return r.Res[v].FullFences
 }
 
 // Acquires returns the number of detected sync reads for a pruned variant.
 func (r *Row) Acquires(v Variant) int {
-	if a, ok := r.Acq[v]; ok {
-		return a.Count()
+	if res, ok := r.Res[v]; ok {
+		return len(res.Acquires)
 	}
 	return 0
 }
@@ -164,15 +174,29 @@ func (r *Row) RunDynamic(v Variant, seed int64) DynResult {
 	return d
 }
 
-// AnalyzeAll analyzes the full evaluation set (Figures 7-10 programs).
-func AnalyzeAll(p progs.Params) []*Row {
-	var rows []*Row
-	for _, m := range progs.EvalSet() {
+// AnalyzeAll analyzes the full evaluation set (Figures 7-10 programs) with
+// one worker per core.
+func AnalyzeAll(p progs.Params) []*Row { return AnalyzeAllN(p, 0) }
+
+// AnalyzeAllN is AnalyzeAll with an explicit corpus-level worker count
+// (n < 1 means GOMAXPROCS). Programs are the unit of parallelism: each
+// gets its own single-threaded Analyzer session, so the worker count is
+// the run's total parallelism (-j 1 really is sequential) and the inner
+// per-function pools never oversubscribe the cores. Rows come back in
+// corpus order.
+func AnalyzeAllN(p progs.Params, workers int) []*Row {
+	set := progs.EvalSet()
+	rows := make([]*Row, len(set))
+	w := workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	par.ForEach(len(set), w, func(i int) {
 		pp := p
 		if pp.Threads == 0 {
-			pp = m.Defaults
+			pp = set[i].Defaults
 		}
-		rows = append(rows, Analyze(m, pp))
-	}
+		rows[i] = analyzeWith(set[i], pp, 1)
+	})
 	return rows
 }

@@ -79,9 +79,9 @@ func geomean(xs []float64) float64 {
 func TestFig8Shape(t *testing.T) {
 	rrDominant := 0
 	for _, r := range evalRows(t) {
-		full := r.Ord[Pensieve]
-		ctl := r.Ord[Control]
-		ac := r.Ord[AddressControl]
+		full := r.Orderings(Pensieve)
+		ctl := r.Orderings(Control)
+		ac := r.Orderings(AddressControl)
 		if ctl.Total() > ac.Total() || ac.Total() > full.Total() {
 			t.Errorf("%s: ordering monotonicity violated: %d / %d / %d",
 				r.Meta.Name, ctl.Total(), ac.Total(), full.Total())

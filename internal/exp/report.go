@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"fenceplace/internal/acquire"
-	"fenceplace/internal/alias"
 	"fenceplace/internal/delayset"
-	"fenceplace/internal/escape"
 	"fenceplace/internal/orders"
+	"fenceplace/internal/passes"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/stats"
 )
@@ -26,10 +24,8 @@ func Table2() string {
 	t := stats.NewTable("kernel", "addr", "ctrl", "pure addr", "source")
 	pureAddrAnywhere := false
 	for _, m := range progs.ByKind(progs.SyncKernel) {
-		p := m.Default()
-		al := alias.Analyze(p)
-		esc := escape.Analyze(p, al)
-		sig := acquire.Classify(p, al, esc)
+		sess := passes.NewSession(m.Default())
+		sig := sess.Signatures()
 		t.Add(m.Name, mark(sig.HasAddress()), mark(sig.HasControl()),
 			mark(sig.HasPureAddress()), m.Source)
 		if sig.HasPureAddress() {
@@ -69,9 +65,9 @@ func Fig8(rows []*Row) string {
 	t := stats.NewTable("program", "variant", "r->r", "r->w", "w->r", "w->w", "total", "% of Pensieve")
 	var acPct, ctlPct []float64
 	for _, r := range rows {
-		base := r.Ord[Pensieve].Total()
+		base := r.Orderings(Pensieve).Total()
 		for _, v := range []Variant{Pensieve, AddressControl, Control} {
-			s := r.Ord[v]
+			s := r.Orderings(v)
 			ratio := stats.Ratio(s.Total(), base)
 			switch v {
 			case AddressControl:

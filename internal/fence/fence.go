@@ -210,10 +210,36 @@ func (p *Plan) Apply() (*ir.Program, map[*ir.Instr]*ir.Instr) {
 	return clone, imap
 }
 
+// CoverageError reports the first ordering Verify found un-enforced, with
+// enough context for a caller to locate the gap in the instrumented
+// program: the analyzed ordering, its endpoints mapped through the
+// instruction correspondence map, and the fences present in the offending
+// function.
+type CoverageError struct {
+	Fn       *ir.Fn          // analyzed function containing the ordering
+	Ord      orders.Ordering // the uncovered ordering (analyzed instructions)
+	From, To *ir.Instr       // the endpoints in the instrumented program
+	NeedFull bool            // whether a full fence was required on the path
+	Fences   []*ir.Instr     // the fences present in the instrumented function
+}
+
+func (e *CoverageError) Error() string {
+	strength := "compiler barrier"
+	if e.NeedFull {
+		strength = "full fence"
+	}
+	return fmt.Sprintf(
+		"fence: uncovered %s ordering in %s: [%s] -> [%s] (instrumented %s/%s#%d -> %s/%s#%d, %s required, %d fences in function)",
+		e.Ord.Type, e.Fn.Name, e.Ord.From, e.Ord.To,
+		e.Fn.Name, e.From.Block().Name, e.From.Pos(),
+		e.Fn.Name, e.To.Block().Name, e.To.Pos(),
+		strength, len(e.Fences))
+}
+
 // Verify checks, on an instrumented program, that every ordering is
 // enforced: no control-flow path from the (cloned) source to the (cloned)
-// destination avoids a fence of sufficient strength. It returns an error
-// describing the first uncovered ordering found, or nil.
+// destination avoids a fence of sufficient strength. It returns a
+// *CoverageError describing the first uncovered ordering found, or nil.
 //
 // imap maps analyzed instructions to their clones (as returned by Apply).
 func Verify(set *orders.Set, opts Options, instr *ir.Program, imap map[*ir.Instr]*ir.Instr) error {
@@ -226,9 +252,21 @@ func Verify(set *orders.Set, opts Options, instr *ir.Program, imap map[*ir.Instr
 			if u == nil || v == nil {
 				return fmt.Errorf("fence: ordering endpoints not mapped into instrumented program")
 			}
-			if unfencedPathExists(u, v, opts.NeedFull(o)) {
-				return fmt.Errorf("fence: uncovered %s ordering in %s: [%s] -> [%s]",
-					o.Type, f.Name, o.From, o.To)
+			needFull := opts.NeedFull(o)
+			if unfencedPathExists(u, v, needFull) {
+				nf := instr.Fn(f.Name)
+				var fences []*ir.Instr
+				if nf != nil {
+					nf.Instrs(func(in *ir.Instr) {
+						if in.Kind == ir.Fence {
+							fences = append(fences, in)
+						}
+					})
+				}
+				return &CoverageError{
+					Fn: f, Ord: o, From: u, To: v,
+					NeedFull: needFull, Fences: fences,
+				}
 			}
 		}
 	}

@@ -91,30 +91,52 @@ type Set struct {
 	count [numTypes]int
 }
 
+// NewSet returns an empty ordering set for the program, to be filled with
+// Add. Generate is the sequential convenience; a pass manager generates
+// per-function lists in parallel with GenerateFn and assembles them here.
+func NewSet(p *ir.Program) *Set {
+	return &Set{Prog: p, ByFn: make(map[*ir.Fn][]Ordering, len(p.Funcs))}
+}
+
+// Add records a function's ordering list (as produced by GenerateFn) and
+// updates the type counts. Empty lists are ignored.
+func (s *Set) Add(f *ir.Fn, list []Ordering) {
+	if len(list) == 0 {
+		return
+	}
+	s.ByFn[f] = list
+	for _, o := range list {
+		s.count[o.Type]++
+	}
+}
+
+// GenerateFn performs Pensieve ordering generation for a single function:
+// all ordered pairs of escaping accesses connected by a path in g, which
+// must be the CFG of f. It touches no shared state, so any number of
+// functions may be generated concurrently.
+func GenerateFn(f *ir.Fn, g *cfg.Graph, esc *escape.Result) []Ordering {
+	accs := esc.EscapingAccesses(f)
+	if len(accs) == 0 {
+		return nil
+	}
+	var list []Ordering
+	for _, u := range accs {
+		for _, v := range accs {
+			if !g.CanFollow(u, v) {
+				continue
+			}
+			list = append(list, Ordering{From: u, To: v, Type: classify(u, v)})
+		}
+	}
+	return list
+}
+
 // Generate performs Pensieve ordering generation over every function: all
 // ordered pairs of escaping accesses connected by a CFG path.
 func Generate(p *ir.Program, esc *escape.Result) *Set {
-	s := &Set{Prog: p, ByFn: make(map[*ir.Fn][]Ordering, len(p.Funcs))}
+	s := NewSet(p)
 	for _, f := range p.Funcs {
-		accs := esc.EscapingAccesses(f)
-		if len(accs) == 0 {
-			continue
-		}
-		g := cfg.New(f)
-		var list []Ordering
-		for _, u := range accs {
-			for _, v := range accs {
-				if !g.CanFollow(u, v) {
-					continue
-				}
-				o := Ordering{From: u, To: v, Type: classify(u, v)}
-				list = append(list, o)
-				s.count[o.Type]++
-			}
-		}
-		if len(list) > 0 {
-			s.ByFn[f] = list
-		}
+		s.Add(f, GenerateFn(f, cfg.New(f), esc))
 	}
 	return s
 }

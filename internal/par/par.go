@@ -1,0 +1,43 @@
+// Package par holds the one worker-pool shape the analysis layers share:
+// an index fan-out with a bounded number of goroutines pulling from an
+// atomic counter. The pass session fans functions out with it and the
+// experiment harness fans corpus programs; keeping the pool in one place
+// keeps their semantics (capping, serial fallback) identical.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs work(i) for every i in [0, n), fanned out over at most
+// workers goroutines (capped at n; workers <= 1 runs inline). work must
+// be safe to call concurrently for distinct indexes.
+func ForEach(n, workers int, work func(i int)) {
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,20 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			hits := make([]atomic.Int32, n)
+			ForEach(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("workers=%d n=%d: index %d hit %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}

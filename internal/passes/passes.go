@@ -1,0 +1,343 @@
+// Package passes is the pass manager of the static pipeline. A Session
+// owns one finalized ir.Program and memoizes every pass artifact — alias
+// analysis, escape analysis, per-function CFGs and slicer indexes,
+// Pensieve ordering generation, acquire detection per variant, DRF pruning
+// and fence minimization per strategy — so the strategy-independent passes
+// (alias, escape, ordering generation, the shared indexes) run exactly
+// once no matter how many placement strategies are evaluated. Per-function
+// work (CFG construction, slicing, ordering generation) fans out over a
+// bounded worker pool.
+//
+// Every artifact is immutable once computed and every memoization is
+// guarded, so a Session may be used from any number of goroutines:
+// strategies can be analyzed in parallel, and a corpus driver can analyze
+// many programs each with its own Session.
+package passes
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fenceplace/internal/acquire"
+	"fenceplace/internal/alias"
+	"fenceplace/internal/cfg"
+	"fenceplace/internal/escape"
+	"fenceplace/internal/fence"
+	"fenceplace/internal/ir"
+	"fenceplace/internal/orders"
+	"fenceplace/internal/par"
+	"fenceplace/internal/slicer"
+)
+
+// Strategy selects a fence-placement variant. It mirrors the public
+// fenceplace.Strategy (same values, same order); the facade maps between
+// the two so this package stays import-cycle-free.
+type Strategy int
+
+const (
+	// PensieveOnly places fences for every generated ordering.
+	PensieveOnly Strategy = iota
+	// Control prunes orderings using control acquires (Listing 1).
+	Control
+	// AddressControl prunes using control and address acquires (Listing 3).
+	AddressControl
+	numStrategies
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case PensieveOnly:
+		return "Pensieve"
+	case Control:
+		return "Control"
+	case AddressControl:
+		return "Address+Control"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Strategies lists all placement strategies.
+var Strategies = [...]Strategy{PensieveOnly, Control, AddressControl}
+
+// Timing records one pass execution: its own wall time, excluding the
+// passes it depends on (dependencies are resolved before the clock starts).
+type Timing struct {
+	Pass     string
+	Duration time.Duration
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// Workers bounds the per-function fan-out; n < 1 means GOMAXPROCS.
+func Workers(n int) Option {
+	return func(s *Session) { s.workers = n }
+}
+
+// memo is a lazily-computed, concurrency-safe pass artifact.
+type memo[T any] struct {
+	once sync.Once
+	v    T
+}
+
+func (m *memo[T]) get(f func() T) T {
+	m.once.Do(func() { m.v = f() })
+	return m.v
+}
+
+// Session is a shared analysis context for one program.
+type Session struct {
+	prog    *ir.Program
+	workers int
+	pos     map[*ir.Fn]int // function -> position in prog.Funcs
+
+	aliasM memo[*alias.Analysis]
+	escM   memo[*escape.Result]
+	cfgM   memo[[]*cfg.Graph]
+	idxM   memo[[]*slicer.Index]
+	genM   memo[*orders.Set]
+	detM   [3]memo[*acquire.Result] // indexed by acquire.Variant
+	sigM   memo[acquire.Signatures]
+	keptM  [numStrategies]memo[*orders.Set]
+	planM  [numStrategies]memo[*fence.Plan]
+	instM  [numStrategies]memo[applied]
+
+	tmu     sync.Mutex
+	timings []Timing
+}
+
+// NewSession finalizes the program and prepares an empty session; every
+// pass runs lazily on first demand.
+func NewSession(p *ir.Program, opts ...Option) *Session {
+	s := &Session{prog: p}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.workers < 1 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	p.Finalize()
+	s.pos = make(map[*ir.Fn]int, len(p.Funcs))
+	for i, f := range p.Funcs {
+		s.pos[f] = i
+	}
+	return s
+}
+
+// Program returns the analyzed program.
+func (s *Session) Program() *ir.Program { return s.prog }
+
+// record appends a pass timing.
+func (s *Session) record(pass string, start time.Time) {
+	d := time.Since(start)
+	s.tmu.Lock()
+	s.timings = append(s.timings, Timing{Pass: pass, Duration: d})
+	s.tmu.Unlock()
+}
+
+// Timings returns the wall time of every pass executed so far, in
+// completion order.
+func (s *Session) Timings() []Timing {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make([]Timing, len(s.timings))
+	copy(out, s.timings)
+	return out
+}
+
+// forEachFn runs work over every function of the program, fanning out over
+// the session's worker pool. work receives the function's position, so
+// results can be written into preallocated per-function slots without
+// locking; it must not touch other shared mutable state.
+func (s *Session) forEachFn(work func(i int, f *ir.Fn)) {
+	fns := s.prog.Funcs
+	par.ForEach(len(fns), s.workers, func(i int) { work(i, fns[i]) })
+}
+
+// Alias returns the memoized whole-program points-to analysis.
+func (s *Session) Alias() *alias.Analysis {
+	return s.aliasM.get(func() *alias.Analysis {
+		defer s.record("alias", time.Now())
+		return alias.Analyze(s.prog)
+	})
+}
+
+// Escape returns the memoized thread-escape analysis.
+func (s *Session) Escape() *escape.Result {
+	return s.escM.get(func() *escape.Result {
+		al := s.Alias()
+		defer s.record("escape", time.Now())
+		return escape.Analyze(s.prog, al)
+	})
+}
+
+// cfgs builds all control-flow graphs in parallel. It is separate from
+// indexes so the PensieveOnly-only path (which never slices) does not pay
+// the potential-writers precomputation.
+func (s *Session) cfgs() []*cfg.Graph {
+	return s.cfgM.get(func() []*cfg.Graph {
+		defer s.record("cfg", time.Now())
+		out := make([]*cfg.Graph, len(s.prog.Funcs))
+		s.forEachFn(func(i int, f *ir.Fn) {
+			out[i] = cfg.New(f)
+		})
+		return out
+	})
+}
+
+// indexes builds all slicer def/writer indexes in parallel.
+func (s *Session) indexes() []*slicer.Index {
+	return s.idxM.get(func() []*slicer.Index {
+		al := s.Alias()
+		defer s.record("slice-index", time.Now())
+		out := make([]*slicer.Index, len(s.prog.Funcs))
+		s.forEachFn(func(i int, f *ir.Fn) {
+			out[i] = slicer.NewIndex(f, al)
+		})
+		return out
+	})
+}
+
+// fnPos returns fn's position in the session's program, panicking on a
+// function from another program (e.g. an instrumented clone) — returning
+// function 0's artifacts for a foreign *ir.Fn would be silently wrong.
+func (s *Session) fnPos(f *ir.Fn) int {
+	i, ok := s.pos[f]
+	if !ok {
+		panic(fmt.Sprintf("passes: function %s does not belong to program %s", f.Name, s.prog.Name))
+	}
+	return i
+}
+
+// CFG returns the memoized control-flow graph of fn, which must belong to
+// the session's program.
+func (s *Session) CFG(f *ir.Fn) *cfg.Graph { return s.cfgs()[s.fnPos(f)] }
+
+// Index returns the memoized slicer def/writer index of fn, which must
+// belong to the session's program.
+func (s *Session) Index(f *ir.Fn) *slicer.Index { return s.indexes()[s.fnPos(f)] }
+
+// Generated returns the memoized Pensieve ordering set (before pruning),
+// generated per function in parallel.
+func (s *Session) Generated() *orders.Set {
+	return s.genM.get(func() *orders.Set {
+		esc := s.Escape()
+		cfgs := s.cfgs()
+		defer s.record("orders", time.Now())
+		lists := make([][]orders.Ordering, len(s.prog.Funcs))
+		s.forEachFn(func(i int, f *ir.Fn) {
+			lists[i] = orders.GenerateFn(f, cfgs[i], esc)
+		})
+		set := orders.NewSet(s.prog)
+		for i, f := range s.prog.Funcs {
+			set.Add(f, lists[i])
+		}
+		return set
+	})
+}
+
+// Detect returns the memoized acquire detection for a variant, sliced per
+// function in parallel over the shared indexes.
+func (s *Session) Detect(v acquire.Variant) *acquire.Result {
+	return s.detM[v].get(func() *acquire.Result {
+		esc := s.Escape()
+		idx := s.indexes()
+		defer s.record("acquire/"+v.String(), time.Now())
+		lists := make([][]*ir.Instr, len(s.prog.Funcs))
+		s.forEachFn(func(i int, f *ir.Fn) {
+			lists[i] = acquire.DetectFn(f, idx[i], esc, v)
+		})
+		return acquire.NewResult(v, lists...)
+	})
+}
+
+// Signatures returns the memoized Table II signature classification,
+// reusing the Control and AddressOnly detections.
+func (s *Session) Signatures() acquire.Signatures {
+	return s.sigM.get(func() acquire.Signatures {
+		return acquire.SignaturesOf(s.Detect(acquire.Control), s.Detect(acquire.AddressOnly))
+	})
+}
+
+// acquireVariant maps a pruning strategy to its detection variant.
+// PensieveOnly has none and must not be passed.
+func acquireVariant(st Strategy) acquire.Variant {
+	if st == AddressControl {
+		return acquire.AddressControl
+	}
+	return acquire.Control
+}
+
+// Acquires returns the detected synchronization reads a strategy prunes
+// with, or nil for PensieveOnly (which detects none).
+func (s *Session) Acquires(st Strategy) *acquire.Result {
+	if st == PensieveOnly {
+		return nil
+	}
+	return s.Detect(acquireVariant(st))
+}
+
+// Kept returns the memoized post-pruning ordering set of a strategy. For
+// PensieveOnly this is the generated set itself.
+func (s *Session) Kept(st Strategy) *orders.Set {
+	return s.keptM[st].get(func() *orders.Set {
+		full := s.Generated()
+		if st == PensieveOnly {
+			return full
+		}
+		acq := s.Detect(acquireVariant(st))
+		defer s.record("prune/"+st.String(), time.Now())
+		return full.Prune(acq)
+	})
+}
+
+// EntryFence returns the strategy's function-entry-fence policy: Pensieve
+// fences every function with an escaping read (§4.4's baseline), the
+// pruned variants only functions containing detected synchronization reads.
+func (s *Session) EntryFence(st Strategy) func(*ir.Fn) bool {
+	if st == PensieveOnly {
+		esc := s.Escape()
+		return func(fn *ir.Fn) bool { return len(esc.EscapingReads(fn)) > 0 }
+	}
+	return s.Detect(acquireVariant(st)).FnHasSync
+}
+
+// Plan returns the memoized minimized fence plan of a strategy.
+func (s *Session) Plan(st Strategy) *fence.Plan {
+	return s.planM[st].get(func() *fence.Plan {
+		kept := s.Kept(st)
+		entry := s.EntryFence(st)
+		defer s.record("minimize/"+st.String(), time.Now())
+		return fence.Minimize(kept, fence.Options{EntryFence: entry})
+	})
+}
+
+// applied is a plan application: the instrumented clone plus the
+// analyzed-to-clone instruction correspondence map.
+type applied struct {
+	prog *ir.Program
+	imap map[*ir.Instr]*ir.Instr
+}
+
+// Applied returns the memoized application of the strategy's plan: the
+// instrumented clone and its instruction correspondence map. The program
+// deep-copy is made once per strategy no matter how often the strategy is
+// analyzed or verified. Both returns are shared; callers must treat them
+// as read-only (execute, format, verify — not mutate).
+func (s *Session) Applied(st Strategy) (*ir.Program, map[*ir.Instr]*ir.Instr) {
+	a := s.instM[st].get(func() applied {
+		plan := s.Plan(st)
+		defer s.record("apply/"+st.String(), time.Now())
+		inst, imap := plan.Apply()
+		return applied{prog: inst, imap: imap}
+	})
+	return a.prog, a.imap
+}
+
+// Instrumented returns the memoized instrumented clone (see Applied).
+func (s *Session) Instrumented(st Strategy) *ir.Program {
+	inst, _ := s.Applied(st)
+	return inst
+}

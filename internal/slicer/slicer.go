@@ -29,39 +29,80 @@ import (
 	"fenceplace/internal/ir"
 )
 
+// Index is the immutable per-function lookup state a slice walks over: the
+// conservative register-definition map and, for every memory read, its
+// precomputed may-alias potential writers. One Index serves every slicer of
+// the function — both detection variants, possibly concurrently — so a pass
+// session builds it once per function and shares it.
+type Index struct {
+	fn      *ir.Fn
+	defs    map[ir.Reg][]*ir.Instr
+	writers map[*ir.Instr][]*ir.Instr
+}
+
+// NewIndex builds the shared def/writer index for fn. The alias analysis
+// must belong to the same (finalized) program.
+func NewIndex(fn *ir.Fn, al *alias.Analysis) *Index {
+	ix := &Index{
+		fn:      fn,
+		defs:    make(map[ir.Reg][]*ir.Instr),
+		writers: make(map[*ir.Instr][]*ir.Instr),
+	}
+	fn.Instrs(func(in *ir.Instr) {
+		if d := in.Def(); d != ir.NoReg {
+			ix.defs[d] = append(ix.defs[d], in)
+		}
+	})
+	fn.Instrs(func(in *ir.Instr) {
+		if in.ReadsMem() {
+			ix.writers[in] = al.PotentialWriters(fn, in)
+		}
+	})
+	return ix
+}
+
+// Fn returns the indexed function.
+func (ix *Index) Fn() *ir.Fn { return ix.fn }
+
+// Defs returns every instruction in the function that may define r — the
+// conservative get_def of the paper's listings.
+func (ix *Index) Defs(r ir.Reg) []*ir.Instr { return ix.defs[r] }
+
+// Writers returns the precomputed potential writers of a memory read
+// (Listing 2 line 17).
+func (ix *Index) Writers(load *ir.Instr) []*ir.Instr { return ix.writers[load] }
+
 // Slicer carries the per-function slicing state shared across root sets.
 type Slicer struct {
-	fn   *ir.Fn
-	al   *alias.Analysis
-	esc  *escape.Result
-	defs map[ir.Reg][]*ir.Instr
+	ix  *Index
+	esc *escape.Result
 
 	seen      map[*ir.Instr]bool
 	syncReads map[*ir.Instr]bool
 }
 
-// New prepares a slicer for fn. The alias and escape results must belong to
-// the same (finalized) program.
+// New prepares a slicer for fn with a private index. The alias and escape
+// results must belong to the same (finalized) program. Callers slicing one
+// function more than once (e.g. under several detection variants) should
+// build the Index once and use NewShared.
 func New(fn *ir.Fn, al *alias.Analysis, esc *escape.Result) *Slicer {
-	s := &Slicer{
-		fn:        fn,
-		al:        al,
+	return NewShared(NewIndex(fn, al), esc)
+}
+
+// NewShared prepares a slicer over a prebuilt index. The index is only
+// read, so any number of concurrent slicers may share it.
+func NewShared(ix *Index, esc *escape.Result) *Slicer {
+	return &Slicer{
+		ix:        ix,
 		esc:       esc,
-		defs:      make(map[ir.Reg][]*ir.Instr),
 		seen:      make(map[*ir.Instr]bool),
 		syncReads: make(map[*ir.Instr]bool),
 	}
-	fn.Instrs(func(in *ir.Instr) {
-		if d := in.Def(); d != ir.NoReg {
-			s.defs[d] = append(s.defs[d], in)
-		}
-	})
-	return s
 }
 
 // Defs returns every instruction in the function that may define r — the
 // conservative get_def of the paper's listings.
-func (s *Slicer) Defs(r ir.Reg) []*ir.Instr { return s.defs[r] }
+func (s *Slicer) Defs(r ir.Reg) []*ir.Instr { return s.ix.defs[r] }
 
 // SliceFromRegs seeds the worklist with the definitions of the given
 // registers (get_def of each root operand) and runs the slice to exhaustion,
@@ -72,7 +113,7 @@ func (s *Slicer) SliceFromRegs(regs ...ir.Reg) {
 		if r == ir.NoReg {
 			continue
 		}
-		work = append(work, s.defs[r]...)
+		work = append(work, s.ix.defs[r]...)
 	}
 	s.run(work)
 }
@@ -92,19 +133,19 @@ func (s *Slicer) run(work []*ir.Instr) {
 			if s.esc.AccessEscapes(in) {
 				s.syncReads[in] = true
 			}
-			work = append(work, s.al.PotentialWriters(s.fn, in)...)
+			work = append(work, s.ix.writers[in]...)
 			// RMW result values derive from their operands as well; plain
 			// loads stop here (their address dependence is the address
 			// signature's concern, handled by the caller's root set).
 			if in.Kind == ir.CAS || in.Kind == ir.FetchAdd {
 				for _, u := range in.Uses() {
-					work = append(work, s.defs[u]...)
+					work = append(work, s.ix.defs[u]...)
 				}
 			}
 			continue
 		}
 		for _, u := range in.Uses() {
-			work = append(work, s.defs[u]...)
+			work = append(work, s.ix.defs[u]...)
 		}
 	}
 }
@@ -113,7 +154,7 @@ func (s *Slicer) run(work []*ir.Instr) {
 // program order.
 func (s *Slicer) SyncReads() []*ir.Instr {
 	var out []*ir.Instr
-	s.fn.Instrs(func(in *ir.Instr) {
+	s.ix.fn.Instrs(func(in *ir.Instr) {
 		if s.syncReads[in] {
 			out = append(out, in)
 		}
