@@ -263,6 +263,7 @@ func BenchmarkCertify(b *testing.B) {
 		res := fenceplace.Analyze(m.Build(pp), fenceplace.Control)
 		for _, w := range workerCounts {
 			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
 				var states int64
 				for i := 0; i < b.N; i++ {
 					rep, err := fenceplace.CertifyOpt(res, nil, fenceplace.CertOptions{Workers: w})
@@ -280,6 +281,39 @@ func BenchmarkCertify(b *testing.B) {
 	}
 }
 
+// BenchmarkCertifyCorpus measures corpus-style certification the way
+// paperbench -cert runs it: per program, the full static analysis, one SC
+// baseline exploration, and a TSO exploration per variant (Manual plus the
+// three analyzed placements) against that shared baseline. Analysis is
+// repeated per iteration so the reported wall time covers the whole
+// pipeline, not a warm session. states/s counts the SC exploration once.
+func BenchmarkCertifyCorpus(b *testing.B) {
+	kernels := []string{"dekker", "peterson"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		for _, name := range kernels {
+			m := progs.ByName(name)
+			pp := m.Defaults
+			pp.Threads = 2
+			pp.Size = 1
+			row := exp.Analyze(m, pp)
+			for vi, v := range exp.Variants {
+				cell := row.Certify(v, mc.Config{})
+				if cell.Status != exp.CertOK {
+					b.Fatalf("%s/%s: %s", name, v, cell)
+				}
+				if vi == 0 {
+					states += cell.Report.VisitedSC // explored once per row
+				}
+				states += cell.Report.VisitedTSO
+			}
+		}
+	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+}
+
 // BenchmarkCertifyVsNaive quantifies the partial-order reduction: the same
 // certification with POR disabled visits strictly more states.
 func BenchmarkCertifyVsNaive(b *testing.B) {
@@ -293,6 +327,7 @@ func BenchmarkCertifyVsNaive(b *testing.B) {
 		nopor bool
 	}{{"por", false}, {"naive", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var states int64
 			for i := 0; i < b.N; i++ {
 				rep, err := mc.Certify(res.Prog, res.Instrumented, nil, mc.Config{NoPOR: mode.nopor})

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fenceplace
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCertify/small-dekker/workers=1         	       2	   4626045 ns/op	    513432 states/s	 2668368 B/op	   31462 allocs/op
+BenchmarkCertifyCorpus 	       1	 120000000 ns/op	  800000.50 states/s
+PASS
+ok  	fenceplace	5.401s
+`
+
+func TestParse(t *testing.T) {
+	var passthrough strings.Builder
+	rep, err := parse(strings.NewReader(sample), &passthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "fenceplace" {
+		t.Errorf("headers: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu header: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkCertify/small-dekker/workers=1" || b.Iterations != 2 {
+		t.Errorf("first bench: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 4626045, "states/s": 513432, "B/op": 2668368, "allocs/op": 31462,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := rep.Benchmarks[1].Metrics["states/s"]; got != 800000.50 {
+		t.Errorf("fractional metric = %v", got)
+	}
+	// PASS / ok lines fall through to the passthrough stream.
+	if s := passthrough.String(); !strings.Contains(s, "PASS") || !strings.Contains(s, "ok ") {
+		t.Errorf("passthrough lost status lines: %q", s)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	fenceplace	5.401s",
+		"--- FAIL: TestSomething",
+		"Benchmark only-a-name",
+		"BenchmarkBad notanumber 12 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -6,9 +6,14 @@
 //
 //	fencecheck -prog dekker                     # certify Control fences on a corpus program
 //	fencecheck -prog peterson -strategy pensieve
+//	fencecheck -prog dekker -strategy all       # all three placements, one shared SC baseline
 //	fencecheck -prog dekker -unfenced           # show why the legacy build needs fences
 //	fencecheck -file prog.ir -entry t0,t1       # litmus-style: explicit flat threads
 //	fencecheck -prog lamport -threads 2 -budget 4194304
+//
+// With -strategy all the three placements are certified against a single
+// SC exploration of the original program (the analyzer session's memoized
+// baseline), so the run costs 1 SC + 3 TSO explorations instead of 3+3.
 //
 // Exit status: 0 certified, 1 not SC-equivalent (or inconclusive), 2 usage.
 package main
@@ -28,12 +33,13 @@ func main() {
 	var (
 		progName = flag.String("prog", "", "corpus program to certify")
 		file     = flag.String("file", "", "textual IR file to certify")
-		strategy = flag.String("strategy", "control", "pensieve | control | addresscontrol")
+		strategy = flag.String("strategy", "control", "pensieve | control | addresscontrol | all")
 		entry    = flag.String("entry", "", "comma-separated flat thread functions (litmus mode; default: explore from main)")
 		threads  = flag.Int("threads", 2, "worker threads for corpus instantiation")
 		size     = flag.Int64("size", 0, "problem size for corpus instantiation (0 = reduced default)")
 		budget   = flag.Int64("budget", 0, "model-checker state budget per exploration (0 = default 2M)")
 		workers  = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
+		exact    = flag.Bool("exact", false, "exact string-keyed seen sets instead of fingerprints (slow oracle mode)")
 		unfenced = flag.Bool("unfenced", false, "certify the unfenced legacy build instead of the instrumented one")
 	)
 	flag.Parse()
@@ -44,49 +50,68 @@ func main() {
 		os.Exit(2)
 	}
 
-	var strat fenceplace.Strategy
+	var strategies []fenceplace.Strategy
 	switch strings.ToLower(*strategy) {
 	case "pensieve":
-		strat = fenceplace.PensieveOnly
+		strategies = []fenceplace.Strategy{fenceplace.PensieveOnly}
 	case "control":
-		strat = fenceplace.Control
+		strategies = []fenceplace.Strategy{fenceplace.Control}
 	case "addresscontrol", "address+control", "ac":
-		strat = fenceplace.AddressControl
+		strategies = []fenceplace.Strategy{fenceplace.AddressControl}
+	case "all":
+		strategies = []fenceplace.Strategy{
+			fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control,
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
 		os.Exit(2)
-	}
-
-	res := fenceplace.Analyze(prog, strat)
-	fmt.Println(res.Summary())
-	if *unfenced {
-		// Certify the legacy build against itself: this demonstrates what
-		// the fences buy by exposing the program's raw TSO behaviors.
-		res.Instrumented = res.Prog
 	}
 
 	var entries []string
 	if *entry != "" {
 		entries = strings.Split(*entry, ",")
 	}
-	rep, err := fenceplace.CertifyOpt(res, entries, fenceplace.CertOptions{
+	opt := fenceplace.CertOptions{
 		MaxStates: *budget,
 		Workers:   *workers,
-	})
-	if err != nil {
-		if errors.Is(err, fenceplace.ErrTruncated) {
-			fmt.Fprintf(os.Stderr, "inconclusive: %v\n", err)
-			fmt.Fprintln(os.Stderr, "raise -budget or shrink -threads/-size to close the state space")
+		ExactSeen: *exact,
+	}
+
+	// One analyzer session for every strategy: the static passes run once,
+	// and so does the certification baseline's SC exploration.
+	az := fenceplace.NewAnalyzer(prog)
+	results := az.AnalyzeAll(strategies...)
+	if *unfenced {
+		// Certify the legacy build against itself: this demonstrates what
+		// the fences buy by exposing the program's raw TSO behaviors. The
+		// verdict is strategy-independent, so one certification suffices
+		// even under -strategy all.
+		res := results[0]
+		res.Instrumented = res.Prog
+		results = results[:1]
+	}
+	failed := false
+	for _, res := range results {
+		fmt.Println(res.Summary())
+		rep, err := fenceplace.CertifyOpt(res, entries, opt)
+		if err != nil {
+			if errors.Is(err, fenceplace.ErrTruncated) {
+				fmt.Fprintf(os.Stderr, "inconclusive: %v\n", err)
+				fmt.Fprintln(os.Stderr, "raise -budget or shrink -threads/-size to close the state space")
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Println(rep)
-	if !rep.Equivalent {
-		if ce := rep.Counterexample(); ce != "" {
-			fmt.Print(ce)
+		fmt.Println(rep)
+		if !rep.Equivalent {
+			if ce := rep.Counterexample(); ce != "" {
+				fmt.Print(ce)
+			}
+			failed = true
 		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fenceplace/internal/exp"
+	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
 )
 
@@ -40,16 +42,23 @@ func main() {
 	}
 	if all || *cert {
 		// Exhaustive certification runs the sync kernels at a reduced
-		// instantiation (2 threads) so the whole state space fits.
-		var rows []*exp.Row
-		for _, m := range exp.CertSet() {
-			pp := m.Defaults
+		// instantiation (2 threads) so the whole state space fits. Rows are
+		// analyzed in parallel; per row, one SC exploration serves as the
+		// baseline all four variants certify against.
+		set := exp.CertSet()
+		rows := make([]*exp.Row, len(set))
+		w := *jobs
+		if w < 1 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		par.ForEach(len(set), w, func(i int) {
+			pp := set[i].Defaults
 			pp.Threads = 2
 			if pp.Size > 2 {
 				pp.Size = 2
 			}
-			rows = append(rows, exp.Analyze(m, pp))
-		}
+			rows[i] = exp.Analyze(set[i], pp)
+		})
 		fmt.Println(exp.CertTable(rows, *budget))
 	}
 	if all || *fig2 {

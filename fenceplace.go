@@ -107,6 +107,11 @@ type Result struct {
 	// plan still is applied (a replaced plan falls back to a fresh Apply).
 	imap    map[*Instr]*Instr
 	applied *fence.Plan
+
+	// sess is the producing pass session; certification reuses its
+	// memoized SC baseline so N variants of one program cost one SC
+	// exploration. Nil only for hand-built Results.
+	sess *passes.Session
 }
 
 // PassTiming is one pipeline pass and its own wall time (excluding the
@@ -192,6 +197,7 @@ func (a *Analyzer) Analyze(s Strategy) *Result {
 	res.CompilerBarriers = plan.CompilerBarriers()
 	res.Instrumented, res.imap = sess.Applied(st)
 	res.applied = plan
+	res.sess = sess
 	if a.timing {
 		res.Timings = a.passTimings(s, st)
 	}
@@ -334,12 +340,34 @@ type CertReport = mc.Report
 
 // CertOptions tunes a certification run. The zero value uses the model
 // checker's defaults (GOMAXPROCS workers, 2M-state budget, partial-order
-// reduction on).
+// reduction on, fingerprint seen-sets).
 type CertOptions struct {
 	MaxStates int64 // state budget per exploration; exceeded => error
 	Workers   int   // parallel exploration workers
 	BufferCap int   // TSO store-buffer capacity modeled (default 4)
+	MemoryCap int   // arena limit in words (default 1<<16)
+	ExactSeen bool  // exact string-keyed seen sets (slow oracle mode)
+	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
 }
+
+// mcConfig maps certification options onto a model-checker configuration.
+// Every exploration-shaping Config field has a CertOptions counterpart, so
+// the session-baseline path and the standalone path explore identically.
+func mcConfig(opt CertOptions) mc.Config {
+	return mc.Config{
+		MaxStates: opt.MaxStates,
+		Workers:   opt.Workers,
+		BufferCap: opt.BufferCap,
+		MemoryCap: opt.MemoryCap,
+		ExactSeen: opt.ExactSeen,
+		NoPOR:     opt.NoPOR,
+	}
+}
+
+// CertBaseline is a reusable SC exploration of one program — the half of
+// a certification every fence-placement variant shares (see
+// Analyzer.Baseline and internal/mc).
+type CertBaseline = mc.Baseline
 
 // ErrTruncated reports a certification whose state budget ran out; the
 // verdict is then unknown, never "equivalent".
@@ -361,11 +389,28 @@ func CertifyThreads(res *Result, threads []string) (*CertReport, error) {
 	return CertifyOpt(res, threads, CertOptions{})
 }
 
-// CertifyOpt is CertifyThreads with explicit exploration options.
+// CertifyOpt is CertifyThreads with explicit exploration options. Results
+// produced by an Analyzer certify against the SC baseline memoized in the
+// producing session, so certifying all strategies of one program performs
+// exactly one SC exploration; hand-built Results fall back to the
+// two-exploration mc.Certify.
 func CertifyOpt(res *Result, threads []string, opt CertOptions) (*CertReport, error) {
-	return mc.Certify(res.Prog, res.Instrumented, threads, mc.Config{
-		MaxStates: opt.MaxStates,
-		Workers:   opt.Workers,
-		BufferCap: opt.BufferCap,
-	})
+	cfg := mcConfig(opt)
+	if res.sess != nil {
+		base, err := res.sess.CertBaseline(threads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return mc.CertifyAgainst(base, res.Instrumented, cfg)
+	}
+	return mc.Certify(res.Prog, res.Instrumented, threads, cfg)
+}
+
+// Baseline returns the analyzer's memoized SC exploration for the given
+// entry configuration (nil threads explores from main), computing it on
+// first use. Callers fanning certification out over variants — or over
+// expert builds of the same program that no Result carries — pair it with
+// mc.CertifyAgainst via CertifyOpt's session reuse or internal tooling.
+func (a *Analyzer) Baseline(threads []string, opt CertOptions) (*CertBaseline, error) {
+	return a.sess.CertBaseline(threads, mcConfig(opt))
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"fenceplace"
 	"fenceplace/internal/mc"
+	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/stats"
 )
@@ -59,9 +61,12 @@ func (c CertCell) String() string {
 }
 
 // Certify model-checks the variant's instrumented build against the legacy
-// build's SC semantics, whole-program (main spawns the workers).
+// build's SC semantics, whole-program (main spawns the workers). Rows
+// produced by Analyze share one SC exploration across every variant: the
+// baseline is memoized in the row's analyzer session, so only the TSO side
+// runs per variant.
 func (r *Row) Certify(v Variant, cfg mc.Config) CertCell {
-	rep, err := mc.Certify(r.Prog, r.Inst[v], nil, cfg)
+	rep, err := r.certify(v, cfg)
 	switch {
 	case errors.Is(err, mc.ErrTruncated):
 		return CertCell{Status: CertBudget, Err: err}
@@ -74,20 +79,46 @@ func (r *Row) Certify(v Variant, cfg mc.Config) CertCell {
 	}
 }
 
+// certify runs the variant's TSO exploration against the shared SC
+// baseline when the row carries an analyzer, or the standalone
+// two-exploration certification when it does not.
+func (r *Row) certify(v Variant, cfg mc.Config) (*mc.Report, error) {
+	if r.az == nil {
+		return mc.Certify(r.Prog, r.Inst[v], nil, cfg)
+	}
+	base, err := r.az.Baseline(nil, fenceplace.CertOptions{
+		MaxStates: cfg.MaxStates,
+		Workers:   cfg.Workers,
+		BufferCap: cfg.BufferCap,
+		MemoryCap: cfg.MemoryCap,
+		ExactSeen: cfg.ExactSeen,
+		NoPOR:     cfg.NoPOR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mc.CertifyAgainst(base, r.Inst[v], cfg)
+}
+
 // CertTable renders the certification column of the evaluation: for each
 // program and variant, whether the placed fences provably restore SC.
 // Exhaustive certification only scales to small instantiations, so callers
 // analyze the corpus at reduced parameters (cmd/paperbench uses Threads=2)
-// and bound the exploration with maxStates.
+// and bound the exploration with maxStates. Per row, the SC state space is
+// explored once (the session baseline) and the four variant TSO
+// explorations fan out over it concurrently.
 func CertTable(rows []*Row, maxStates int64) string {
 	t := stats.NewTable("program", "Manual", "Pensieve", "Address+Control", "Control")
 	cfg := mc.Config{MaxStates: maxStates}
 	for _, r := range rows {
-		cells := []string{r.Meta.Name}
-		for _, v := range Variants {
-			cells = append(cells, r.Certify(v, cfg).String())
-		}
-		t.Add(cells...)
+		// The concurrent Certify calls collapse onto one SC exploration:
+		// the session baseline is a per-key sync.Once, so the first caller
+		// builds it and the rest block on it.
+		cells := make([]string, len(Variants))
+		par.ForEach(len(Variants), len(Variants), func(i int) {
+			cells[i] = r.Certify(Variants[i], cfg).String()
+		})
+		t.Add(append([]string{r.Meta.Name}, cells...)...)
 	}
 	return "Certification: exhaustive SC-equivalence of the placed fences\n" +
 		"(model checker: TSO final states of the instrumented build vs SC final states\n" +

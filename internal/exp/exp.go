@@ -75,6 +75,12 @@ type Row struct {
 	Res map[Variant]*fenceplace.Result // per analyzed variant
 
 	Inst map[Variant]*ir.Program // instrumented clones (Manual = expert build)
+
+	// az is the producing analyzer; certification draws the shared SC
+	// baseline from its session so all four variants (including the
+	// expert Manual build) cost one SC exploration. Nil for hand-built
+	// rows, which fall back to per-variant baselines.
+	az *fenceplace.Analyzer
 }
 
 // Analyze runs the complete static pipeline on one corpus program: one
@@ -98,6 +104,7 @@ func analyzeWith(m *progs.Meta, p progs.Params, innerWorkers int) *Row {
 		Meta: m, Prog: prog,
 		Res:  map[Variant]*fenceplace.Result{},
 		Inst: map[Variant]*ir.Program{},
+		az:   az,
 	}
 	for _, res := range results {
 		v := variantOf(res.Strategy)

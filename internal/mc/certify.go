@@ -81,15 +81,26 @@ func (r *Report) Counterexample() string {
 	return ""
 }
 
-// Certify decides whether the instrumented program running under x86-TSO
-// reaches exactly the final states the original program reaches under
-// sequential consistency — the paper's guarantee, stated over a concrete
-// state space. threadFns selects litmus-style entry (nil explores from
-// main). Both explorations must complete within cfg.MaxStates; a truncated
-// exploration returns an error wrapping ErrTruncated rather than an
-// unsound verdict.
-func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, error) {
-	scCfg := cfg
+// Baseline is the SC half of a certification, computed once and reusable:
+// the reachable final-state set of the original (uninstrumented) program
+// under sequential consistency. Every fence-placement variant of one
+// program certifies against the same SC state space, so exploring it once
+// per program — instead of once per variant, as the plain Certify
+// entry point must — removes the dominant redundant work of corpus
+// certification. Baselines are immutable after construction and safe for
+// concurrent use by any number of CertifyAgainst calls.
+type Baseline struct {
+	Prog      *ir.Program // the original program the SC set belongs to
+	ThreadFns []string    // entry configuration the set was explored under
+	Cfg       Config      // normalized exploration config (Mode forced to SC)
+	SC        *StateSet   // the reachable SC final states
+}
+
+// NewBaseline explores the original program under sequential consistency
+// and packages the result for reuse. A truncated exploration is an error
+// wrapping ErrTruncated: an incomplete baseline could certify nothing.
+func NewBaseline(orig *ir.Program, threadFns []string, cfg Config) (*Baseline, error) {
+	scCfg := cfg.withDefaults()
 	scCfg.Mode = tso.SC
 	sc, err := Explore(orig, threadFns, scCfg)
 	if err != nil {
@@ -98,9 +109,39 @@ func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, e
 	if sc.Truncated {
 		return nil, fmt.Errorf("mc: certify %s: SC exploration after %d states: %w", orig.Name, sc.Visited, ErrTruncated)
 	}
-	tsoCfg := cfg
+	return &Baseline{Prog: orig, ThreadFns: threadFns, Cfg: scCfg, SC: sc}, nil
+}
+
+// Certify decides whether the instrumented program running under x86-TSO
+// reaches exactly the final states the original program reaches under
+// sequential consistency — the paper's guarantee, stated over a concrete
+// state space. threadFns selects litmus-style entry (nil explores from
+// main). Both explorations must complete within cfg.MaxStates; a truncated
+// exploration returns an error wrapping ErrTruncated rather than an
+// unsound verdict.
+//
+// Certify explores the original's SC state space anew on every call.
+// Callers certifying several fence-placement variants of one program
+// should build the SC side once with NewBaseline and fan the variants out
+// over CertifyAgainst.
+func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, error) {
+	base, err := NewBaseline(orig, threadFns, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return CertifyAgainst(base, inst, cfg)
+}
+
+// CertifyAgainst certifies one instrumented variant against a prebuilt SC
+// baseline: it explores only the instrumented program under x86-TSO and
+// compares the reachable final states with the baseline's. cfg governs the
+// TSO exploration (and witness reconstruction); the entry configuration is
+// the baseline's.
+func CertifyAgainst(base *Baseline, inst *ir.Program, cfg Config) (*Report, error) {
+	sc := base.SC
+	tsoCfg := cfg.withDefaults()
 	tsoCfg.Mode = tso.TSO
-	ts, err := Explore(inst, threadFns, tsoCfg)
+	ts, err := Explore(inst, base.ThreadFns, tsoCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +150,7 @@ func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, e
 	}
 
 	r := &Report{
-		Program:     orig.Name,
+		Program:     base.Prog.Name,
 		SCOutcomes:  len(sc.Outcomes),
 		TSOOutcomes: len(ts.Outcomes),
 		VisitedSC:   sc.Visited,
@@ -132,7 +173,7 @@ func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, e
 		return r, nil
 	}
 
-	schedules := witness(inst, threadFns, tsoCfg, targets)
+	schedules := witness(inst, base.ThreadFns, tsoCfg, targets)
 	keys := make([]string, 0, len(targets))
 	for k := range targets {
 		keys = append(keys, k)
@@ -171,11 +212,12 @@ func witness(p *ir.Program, threadFns []string, cfg Config, targets map[string]b
 	seen := make(map[string]bool)
 	encBuf := make([]byte, 0, 256)
 
+	var an analysis
 	push := func(stack []*wframe, s *state, step Step) []*wframe {
 		f := &wframe{s: s, step: step}
-		a := e.analyze(s)
+		e.analyze(s, &an)
 		for bit := 0; bit < 2*MaxThreads; bit++ {
-			if a.enabled&(1<<uint(bit)) != 0 {
+			if an.enabled&(1<<uint(bit)) != 0 {
 				f.bits = append(f.bits, bit)
 			}
 		}
@@ -244,12 +286,7 @@ func witness(p *ir.Program, threadFns []string, cfg Config, targets map[string]b
 
 // outcomeKey renders a terminal state's printable outcome key.
 func (e *engine) outcomeKey(s *state, suffix string) string {
-	vec := s.mem[1 : 1+e.gwords]
-	key := fmt.Sprintf("%v", vec)
-	if s.failed {
-		key += "!assert"
-	}
-	return key + suffix
+	return string(appendOutcomeKey(nil, s.mem[1:1+e.gwords], s.failed, suffix))
 }
 
 // addrName maps a word address back to a printable global location.

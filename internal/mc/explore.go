@@ -11,14 +11,18 @@ import (
 
 const nShards = 64 // seen-set shards; fine-grained locking for the pool
 
-// seenShard is one shard of the global seen set. The value is the sleep
-// mask the state has been covered for: a state needs re-expansion only when
-// it is reached with a sleep set that is not a superset of the stored mask,
-// and then only for the previously-slept transitions (Godefroid's sleep
-// sets with state matching).
+// seenShard is one shard of the global seen set. The value stored per
+// state is the sleep mask the state has been covered for: a state needs
+// re-expansion only when it is reached with a sleep set that is not a
+// superset of the stored mask, and then only for the previously-slept
+// transitions (Godefroid's sleep sets with state matching). States are
+// keyed by 128-bit fingerprints of their canonical encoding (fps); the
+// exact string-keyed mode (m) survives behind Config.ExactSeen as a
+// cross-checking oracle.
 type seenShard struct {
-	mu sync.Mutex
-	m  map[string]uint32
+	mu  sync.Mutex
+	fps fpTable
+	m   map[string]uint32
 }
 
 // node is one frontier entry: a state plus the sleep-set context it was
@@ -51,13 +55,73 @@ type engine struct {
 	err      error
 }
 
-// worker-local scratch: frontier stack and encode buffer.
+// workerCtx is the worker-local scratch that keeps the steady state of an
+// exploration allocation-free: the frontier stack, reusable encode and
+// outcome-key buffers, a reusable transition-analysis record (with its
+// address arena), and freelists recycling the states and nodes the worker
+// retires. Nodes handed off to other workers are recycled by the receiving
+// worker; freelists never cross workers, so no locking is involved.
 type workerCtx struct {
-	local  []*node
-	encBuf []byte
+	local      []*node
+	encBuf     []byte
+	keyBuf     []byte
+	an         analysis
+	freeStates []*state
+	freeNodes  []*node
 }
 
-// fnv1a hashes the canonical encoding for shard routing.
+// statePool and nodePool recycle shells across explorations: a worker's
+// freelist starts empty, and without a process-wide pool every fresh
+// Explore would re-allocate its peak frontier (states live concurrently on
+// the stack) even though cloneInto immediately resizes whatever it gets.
+// States carry no engine- or program-specific invariants — cloneInto and
+// pushFrame overwrite everything and reuse only slice capacity — so
+// recycling across programs is safe.
+var statePool = sync.Pool{New: func() any { return &state{} }}
+var nodePool = sync.Pool{New: func() any { return &node{} }}
+
+func (w *workerCtx) newState() *state {
+	if n := len(w.freeStates); n > 0 {
+		s := w.freeStates[n-1]
+		w.freeStates = w.freeStates[:n-1]
+		return s
+	}
+	return statePool.Get().(*state)
+}
+
+func (w *workerCtx) putState(s *state) { w.freeStates = append(w.freeStates, s) }
+
+func (w *workerCtx) newNode(s *state, sleep, revisit uint32) *node {
+	var n *node
+	if l := len(w.freeNodes); l > 0 {
+		n = w.freeNodes[l-1]
+		w.freeNodes = w.freeNodes[:l-1]
+	} else {
+		n = nodePool.Get().(*node)
+	}
+	*n = node{s: s, sleep: sleep, revisit: revisit}
+	return n
+}
+
+func (w *workerCtx) putNode(n *node) {
+	n.s = nil
+	w.freeNodes = append(w.freeNodes, n)
+}
+
+// release returns the worker's freelists to the process-wide pools when
+// the worker retires, so the next exploration starts warm.
+func (w *workerCtx) release() {
+	for _, s := range w.freeStates {
+		statePool.Put(s)
+	}
+	w.freeStates = nil
+	for _, n := range w.freeNodes {
+		nodePool.Put(n)
+	}
+	w.freeNodes = nil
+}
+
+// fnv1a hashes the canonical encoding for shard routing in exact mode.
 func fnv1a(b []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for _, c := range b {
@@ -66,6 +130,16 @@ func fnv1a(b []byte) uint64 {
 	}
 	return h
 }
+
+// exploreRuns counts Explore invocations process-wide; tests assert
+// baseline reuse (one SC exploration for N certified variants) against it.
+var exploreRuns atomic.Int64
+
+// ExploreRuns returns the cumulative number of Explore invocations in this
+// process. It exists for tests and telemetry: certifying N fence-placement
+// variants of one program against a shared Baseline must advance it by
+// exactly N+1 (one SC exploration plus one TSO exploration per variant).
+func ExploreRuns() int64 { return exploreRuns.Load() }
 
 // newEngine builds an engine and the initial state for the given entry
 // configuration (thread functions, or the program's main when nil).
@@ -126,6 +200,7 @@ func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, 
 // be checked. A Truncated result means the state budget ran out; callers
 // must treat it as inconclusive, never as a verdict.
 func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
+	exploreRuns.Add(1)
 	e, init, err := newEngine(p, threadFns, cfg)
 	if err != nil {
 		return nil, err
@@ -139,7 +214,9 @@ func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.worker(&workerCtx{encBuf: make([]byte, 0, 256)})
+			ctx := &workerCtx{encBuf: make([]byte, 0, 256)}
+			e.worker(ctx)
+			ctx.release()
 		}()
 	}
 	wg.Wait()
@@ -172,6 +249,10 @@ func (e *engine) worker(w *workerCtx) {
 			}
 		}
 		e.expand(w, n)
+		// The node and its state are dead once expanded (children are
+		// cloned, outcomes copied): recycle both.
+		w.putState(n.s)
+		w.putNode(n)
 		if e.inflight.Add(-1) == 0 {
 			e.closeOnce.Do(func() { close(e.done) })
 		}
@@ -213,12 +294,13 @@ func (e *engine) expand(w *workerCtx, n *node) {
 	}
 	s := n.s
 	if s.terminal() {
-		e.record(s, "")
+		e.record(w, s, "")
 		return
 	}
-	a := e.analyze(s)
+	a := &w.an
+	e.analyze(s, a)
 	if a.enabled == 0 {
-		e.record(s, "!deadlock")
+		e.record(w, s, "!deadlock")
 		return
 	}
 
@@ -254,7 +336,8 @@ func (e *engine) expand(w *workerCtx, n *node) {
 		if T&tb == 0 {
 			continue
 		}
-		child := s.clone()
+		child := w.newState()
+		cloneInto(child, s)
 		if bit < MaxThreads {
 			if err := e.applyStep(child, bit); err != nil {
 				e.fail(err)
@@ -267,7 +350,7 @@ func (e *engine) expand(w *workerCtx, n *node) {
 		// commutes with the one just fired.
 		var childSleep uint32
 		for sb := 0; sb < 2*MaxThreads; sb++ {
-			if cur&(1<<uint(sb)) != 0 && indep(&a, sb, bit) {
+			if cur&(1<<uint(sb)) != 0 && indep(a, sb, bit) {
 				childSleep |= 1 << uint(sb)
 			}
 		}
@@ -277,47 +360,62 @@ func (e *engine) expand(w *workerCtx, n *node) {
 }
 
 // enqueue runs the seen-set protocol for a freshly produced state and, if
-// it needs (re-)expansion, pushes it on the worker's frontier.
+// it needs (re-)expansion, pushes it on the worker's frontier; pruned
+// states go back on the worker's freelist.
 func (e *engine) enqueue(w *workerCtx, s *state, sleep uint32) {
 	if e.truncated.Load() {
+		w.putState(s)
 		return
 	}
 	w.encBuf = e.encode(s, w.encBuf)
-	key := string(w.encBuf)
-	sh := &e.shards[fnv1a(w.encBuf)%nShards]
 
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[string]uint32)
+	var need bool
+	var revisit uint32
+	if e.cfg.ExactSeen {
+		sh := &e.shards[fnv1a(w.encBuf)%nShards]
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[string]uint32)
+		}
+		prev, seen := sh.m[string(w.encBuf)] // no-copy map probe
+		switch {
+		case !seen:
+			sh.m[string(w.encBuf)] = sleep
+			need = true
+		case prev&^sleep == 0:
+			// Already covered for a sleep set at least as permissive: prune.
+		default:
+			// Previously slept transitions wake up: expand just those.
+			sh.m[string(w.encBuf)] = prev & sleep
+			need, revisit = true, prev&^sleep
+		}
+		sh.mu.Unlock()
+	} else {
+		h := hash128(w.encBuf)
+		sh := &e.shards[h.hi%nShards]
+		sh.mu.Lock()
+		need, revisit = sh.fps.visit(h, sleep)
+		sh.mu.Unlock()
 	}
-	prev, seen := sh.m[key]
-	var n *node
-	switch {
-	case !seen:
-		sh.m[key] = sleep
-		n = &node{s: s, sleep: sleep}
-	case prev&^sleep == 0:
-		// Already covered for a sleep set at least as permissive: prune.
-	default:
-		// Previously slept transitions wake up: expand just those.
-		sh.m[key] = prev & sleep
-		n = &node{s: s, sleep: sleep, revisit: prev &^ sleep}
-	}
-	sh.mu.Unlock()
 
-	if n != nil {
+	if need {
 		e.inflight.Add(1)
-		w.local = append(w.local, n)
+		w.local = append(w.local, w.newNode(s, sleep, revisit))
+	} else {
+		w.putState(s)
 	}
 }
 
-// record registers a terminal (or deadlocked) state's global values.
-func (e *engine) record(s *state, suffix string) {
-	vec := append([]int64(nil), s.mem[1:1+e.gwords]...)
-	key := e.outcomeKey(s, suffix)
+// record registers a terminal (or deadlocked) state's global values. The
+// outcome key is rendered into the worker's scratch buffer and the map is
+// probed before anything is copied, so duplicate terminal states — the
+// overwhelming majority — allocate nothing.
+func (e *engine) record(w *workerCtx, s *state, suffix string) {
+	w.keyBuf = appendOutcomeKey(w.keyBuf[:0], s.mem[1:1+e.gwords], s.failed, suffix)
 	e.outMu.Lock()
-	if _, ok := e.outcomes[key]; !ok {
-		e.outcomes[key] = vec
+	if _, ok := e.outcomes[string(w.keyBuf)]; !ok {
+		vec := append([]int64(nil), s.mem[1:1+e.gwords]...)
+		e.outcomes[string(w.keyBuf)] = vec
 	}
 	e.outMu.Unlock()
 }

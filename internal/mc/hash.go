@@ -1,0 +1,183 @@
+package mc
+
+import "encoding/binary"
+
+// The fingerprint seen set: instead of keying visited states by their full
+// canonical byte encoding (one string allocation per state), the engine
+// keys them by a 128-bit hash of that encoding stored in open-addressed
+// tables. At the engine's state budgets (≤2^21 states per exploration) the
+// collision probability of a 128-bit fingerprint is below 2^-85, far
+// under the odds of a hardware fault; Config.ExactSeen retains the exact
+// string-keyed mode as a cross-checking oracle.
+
+// h128 is a 128-bit state fingerprint.
+type h128 struct{ hi, lo uint64 }
+
+func rotl64(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// hash128 is MurmurHash3 x64/128 over b. It is not cryptographic — the
+// inputs are canonical state encodings produced by the engine itself, so
+// adversarial collisions are not a concern, only accidental ones.
+func hash128(b []byte) h128 {
+	const c1 = 0x87c37b91114253d5
+	const c2 = 0x4cf5ad432745937f
+	var h1, h2 uint64
+	n := len(b)
+	for len(b) >= 16 {
+		k1 := binary.LittleEndian.Uint64(b)
+		k2 := binary.LittleEndian.Uint64(b[8:])
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = rotl64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = rotl64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+		b = b[16:]
+	}
+	var k1, k2 uint64
+	switch len(b) {
+	case 15:
+		k2 ^= uint64(b[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(b[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(b[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(b[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(b[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(b[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(b[8])
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(b[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(b[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(b[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(b[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(b[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(b[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(b[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(b[0])
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h128{hi: h1, lo: h2}
+}
+
+// fpEntry is one slot of a fingerprint table: the state's fingerprint plus
+// the sleep mask it has been covered for (see seenShard). hi==lo==0 marks
+// an empty slot; visit remaps the (vanishingly unlikely) all-zero
+// fingerprint away from the marker.
+type fpEntry struct {
+	hi, lo uint64
+	sleep  uint32
+}
+
+// fpTable is an open-addressed, linear-probing fingerprint table. It is
+// not internally synchronized; each table is one shard guarded by its
+// shard's mutex.
+type fpTable struct {
+	entries []fpEntry
+	n       int
+}
+
+// visit runs the sleep-set seen protocol for a state fingerprint: it
+// returns whether the state needs (re-)expansion and, for re-expansions,
+// the mask of previously slept transitions to fire. The stored mask is
+// updated exactly like the exact-keyed mode's map entry.
+func (t *fpTable) visit(h h128, sleep uint32) (need bool, revisit uint32) {
+	if h.hi == 0 && h.lo == 0 {
+		h.lo = 1
+	}
+	if t.entries == nil {
+		t.entries = make([]fpEntry, 128)
+	} else if (t.n+1)*4 > len(t.entries)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h.lo & mask; ; i = (i + 1) & mask {
+		en := &t.entries[i]
+		if en.hi == 0 && en.lo == 0 {
+			*en = fpEntry{hi: h.hi, lo: h.lo, sleep: sleep}
+			t.n++
+			return true, 0
+		}
+		if en.hi == h.hi && en.lo == h.lo {
+			prev := en.sleep
+			if prev&^sleep == 0 {
+				return false, 0 // covered for a sleep set at least as permissive
+			}
+			en.sleep = prev & sleep
+			return true, prev &^ sleep
+		}
+	}
+}
+
+func (t *fpTable) grow() {
+	old := t.entries
+	t.entries = make([]fpEntry, 2*len(old))
+	mask := uint64(len(t.entries) - 1)
+	for _, en := range old {
+		if en.hi == 0 && en.lo == 0 {
+			continue
+		}
+		i := en.lo & mask
+		for t.entries[i].hi != 0 || t.entries[i].lo != 0 {
+			i = (i + 1) & mask
+		}
+		t.entries[i] = en
+	}
+}

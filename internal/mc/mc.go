@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
+	"strconv"
 
 	"fenceplace/internal/ir"
 	"fenceplace/internal/tso"
@@ -60,7 +62,20 @@ type Config struct {
 	MemoryCap int   // arena limit in words (default 1<<16)
 	Workers   int   // worker goroutines (default GOMAXPROCS)
 	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
+
+	// ExactSeen keys the seen set by full canonical state encodings
+	// instead of 128-bit fingerprints. Exact mode allocates one string per
+	// visited state; it exists as a cross-checking oracle for the
+	// fingerprint tables, not for production use.
+	ExactSeen bool
 }
+
+// Normalize returns the configuration with every unset field replaced by
+// its default, the form under which explorations actually run. Callers
+// that key caches by configuration (the pass session's certification
+// baselines) normalize first so a zero Workers field and an explicit
+// GOMAXPROCS hit the same entry.
+func (c Config) Normalize() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.BufferCap == 0 {
@@ -139,23 +154,43 @@ type state struct {
 }
 
 func (s *state) clone() *state {
-	n := &state{mem: append([]int64(nil), s.mem...), failed: s.failed}
-	n.threads = make([]thr, len(s.threads))
-	for i := range s.threads {
-		t := &s.threads[i]
-		nt := &n.threads[i]
-		nt.done = t.done
-		nt.buf = append([]bufEntry(nil), t.buf...)
-		nt.frames = make([]frm, len(t.frames))
-		for j := range t.frames {
-			f := &t.frames[j]
-			nt.frames[j] = frm{
-				fn: f.fn, blk: f.blk, idx: f.idx, retDst: f.retDst,
-				regs: append([]int64(nil), f.regs...),
-			}
+	n := &state{}
+	cloneInto(n, s)
+	return n
+}
+
+// cloneInto copies src into dst, reusing every slice dst already owns
+// (memory, per-thread buffers, frame stacks, register files). With dst
+// drawn from a worker freelist the copy allocates nothing in steady state;
+// only shape growth beyond a recycled state's capacity allocates.
+func cloneInto(dst, src *state) {
+	dst.failed = src.failed
+	dst.mem = append(dst.mem[:0], src.mem...)
+	n := len(src.threads)
+	if cap(dst.threads) >= n {
+		// Reslicing (not appending) keeps the recycled thr slots beyond the
+		// previous length, so their buffers and frame stacks get reused too.
+		dst.threads = dst.threads[:n]
+	} else {
+		dst.threads = append(dst.threads[:cap(dst.threads)], make([]thr, n-cap(dst.threads))...)
+	}
+	for i := 0; i < n; i++ {
+		st, dt := &src.threads[i], &dst.threads[i]
+		dt.done = st.done
+		dt.buf = append(dt.buf[:0], st.buf...)
+		m := len(st.frames)
+		if cap(dt.frames) >= m {
+			dt.frames = dt.frames[:m]
+		} else {
+			dt.frames = append(dt.frames[:cap(dt.frames)], make([]frm, m-cap(dt.frames))...)
+		}
+		for j := 0; j < m; j++ {
+			sf, df := &st.frames[j], &dt.frames[j]
+			regs := df.regs
+			*df = *sf
+			df.regs = append(regs[:0], sf.regs...)
 		}
 	}
-	return n
 }
 
 func (s *state) terminal() bool {
@@ -218,6 +253,25 @@ func (e *engine) encode(s *state, buf []byte) []byte {
 	return b
 }
 
+// appendOutcomeKey renders the printable outcome key of a terminal state
+// — the final global values in fmt's %v slice form, suffixed "!assert"
+// for failed paths — into buf, so the hot recording path can probe the
+// outcome map without allocating a string.
+func appendOutcomeKey(buf []byte, vec []int64, failed bool, suffix string) []byte {
+	buf = append(buf, '[')
+	for i, v := range vec {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	buf = append(buf, ']')
+	if failed {
+		buf = append(buf, "!assert"...)
+	}
+	return append(buf, suffix...)
+}
+
 // --- transitions -------------------------------------------------------------
 
 // A transition is identified by a bit in a 32-bit mask: bit t is "thread t
@@ -226,32 +280,78 @@ func (e *engine) encode(s *state, buf []byte) []byte {
 func stepBit(tid int) uint32  { return 1 << uint(tid) }
 func drainBit(tid int) uint32 { return 1 << uint(MaxThreads+tid) }
 
-// fp is the shared-memory footprint of one enabled transition, evaluated in
-// a concrete state (addresses are exact, not abstract).
+// fp is the shared-memory footprint of one enabled transition, evaluated
+// in a concrete state (addresses are exact, not abstract). Read and write
+// sets are ranges into the owning analysis's address arena, so evaluating
+// a footprint allocates nothing; write sets are kept sorted so indep can
+// merge-scan them.
 type fp struct {
-	reads  []int64
-	writes []int64
-	local  bool // no visible effect: independent of every other thread
-	det    bool // safe persistent singleton: local and never part of a cycle
-	alloc  bool // moves the arena bump pointer
-	univ   bool // conservatively dependent with everything (Spawn)
+	rOff, rLen int
+	wOff, wLen int
+	local      bool // no visible effect: independent of every other thread
+	det        bool // safe persistent singleton: local and never part of a cycle
+	alloc      bool // moves the arena bump pointer
+	univ       bool // conservatively dependent with everything (Spawn)
 }
 
-// analysis is the per-state expansion record: the enabled transition mask
-// plus the footprint of every enabled transition.
+// analysis is the per-state expansion record: the enabled transition mask,
+// the footprint of every enabled transition, and the address arena the
+// footprints slice into. One analysis per worker is reused across states.
 type analysis struct {
 	enabled uint32
 	fps     [2 * MaxThreads]fp
+	addrs   []int64
 }
 
-// analyze computes the enabled transitions of s and their footprints.
-func (e *engine) analyze(s *state) analysis {
-	var a analysis
+func (a *analysis) reads(i int) []int64 {
+	f := &a.fps[i]
+	return a.addrs[f.rOff : f.rOff+f.rLen]
+}
+
+func (a *analysis) writes(i int) []int64 {
+	f := &a.fps[i]
+	return a.addrs[f.wOff : f.wOff+f.wLen]
+}
+
+// read1 records a single-address read set.
+func (a *analysis) read1(addr int64) fp {
+	off := len(a.addrs)
+	a.addrs = append(a.addrs, addr)
+	return fp{rOff: off, rLen: 1}
+}
+
+// write1 records a single-address write set.
+func (a *analysis) write1(addr int64) fp {
+	off := len(a.addrs)
+	a.addrs = append(a.addrs, addr)
+	return fp{wOff: off, wLen: 1}
+}
+
+// writeBuf records the thread's buffered store addresses (plus extra, when
+// extraAddr is true) as a write set, sorted for merge-scanning.
+func (a *analysis) writeBuf(t *thr, extraAddr bool, extra int64) fp {
+	off := len(a.addrs)
+	for _, en := range t.buf {
+		a.addrs = append(a.addrs, en.addr)
+	}
+	if extraAddr {
+		a.addrs = append(a.addrs, extra)
+	}
+	w := a.addrs[off:]
+	slices.Sort(w)
+	return fp{wOff: off, wLen: len(w)}
+}
+
+// analyze computes the enabled transitions of s and their footprints into
+// the caller's reusable analysis record.
+func (e *engine) analyze(s *state, a *analysis) {
+	a.enabled = 0
+	a.addrs = a.addrs[:0]
 	for tid := range s.threads {
 		t := &s.threads[tid]
 		if e.cfg.Mode == tso.TSO && len(t.buf) > 0 {
 			a.enabled |= drainBit(tid)
-			a.fps[MaxThreads+tid] = fp{writes: []int64{t.buf[0].addr}}
+			a.fps[MaxThreads+tid] = a.write1(t.buf[0].addr)
 		}
 		if t.done {
 			continue
@@ -266,21 +366,13 @@ func (e *engine) analyze(s *state) analysis {
 			}
 		}
 		a.enabled |= stepBit(tid)
-		a.fps[tid] = e.stepFP(s, tid, in)
+		a.fps[tid] = e.stepFP(a, s, tid, in)
 	}
-	return a
 }
 
-func bufAddrs(t *thr) []int64 {
-	out := make([]int64, len(t.buf))
-	for i, en := range t.buf {
-		out[i] = en.addr
-	}
-	return out
-}
-
-// stepFP evaluates the footprint of thread tid executing in from s.
-func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
+// stepFP evaluates the footprint of thread tid executing in from s,
+// recording address sets in a's arena.
+func (e *engine) stepFP(a *analysis, s *state, tid int, in *ir.Instr) fp {
 	t := &s.threads[tid]
 	f := t.top()
 	tso_ := e.cfg.Mode == tso.TSO
@@ -310,7 +402,7 @@ func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
 	case ir.Ret:
 		if len(t.frames) == 1 && tso_ && len(t.buf) > 0 {
 			// Thread exit publishes the store buffer (pthread semantics).
-			return fp{writes: bufAddrs(t)}
+			return a.writeBuf(t, false, 0)
 		}
 		return fp{local: true, det: true}
 	case ir.Load, ir.LoadPtr:
@@ -323,12 +415,12 @@ func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
 		if tso_ && forwarded(addr) {
 			return fp{local: true, det: true}
 		}
-		return fp{reads: []int64{addr}}
+		return a.read1(addr)
 	case ir.Store, ir.StorePtr:
 		if tso_ {
 			if len(t.buf) >= e.cfg.BufferCap {
 				// Buffer pressure forces the oldest entry to memory.
-				return fp{writes: []int64{t.buf[0].addr}}
+				return a.write1(t.buf[0].addr)
 			}
 			return fp{local: true, det: true} // store lands in the buffer
 		}
@@ -338,13 +430,16 @@ func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
 		} else {
 			addr = f.regs[in.Addr]
 		}
-		return fp{writes: []int64{addr}}
+		return a.write1(addr)
 	case ir.CAS, ir.FetchAdd:
 		addr := f.regs[in.Addr]
-		return fp{reads: []int64{addr}, writes: append(bufAddrs(t), addr)}
+		r := a.read1(addr)
+		w := a.writeBuf(t, true, addr)
+		r.wOff, r.wLen = w.wOff, w.wLen
+		return r
 	case ir.Fence:
 		if ir.FenceKind(in.Imm) == ir.FenceFull && tso_ && len(t.buf) > 0 {
-			return fp{writes: bufAddrs(t)}
+			return a.writeBuf(t, false, 0)
 		}
 		return fp{local: true, det: true}
 	case ir.Alloca, ir.Malloc:
@@ -355,12 +450,19 @@ func (e *engine) stepFP(s *state, tid int, in *ir.Instr) fp {
 	return fp{univ: true} // unknown kinds: maximally conservative
 }
 
+// addrsIntersect merge-scans two sorted address slices for a common
+// element. Single-element sets are trivially sorted; buffered write sets
+// are sorted once when their footprint is recorded.
 func addrsIntersect(a, b []int64) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x == y {
-				return true
-			}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
 		}
 	}
 	return false
@@ -380,9 +482,9 @@ func indep(a *analysis, i, j int) bool {
 	if fi.alloc && fj.alloc {
 		return false
 	}
-	if addrsIntersect(fi.writes, fj.writes) ||
-		addrsIntersect(fi.writes, fj.reads) ||
-		addrsIntersect(fi.reads, fj.writes) {
+	if addrsIntersect(a.writes(i), a.writes(j)) ||
+		addrsIntersect(a.writes(i), a.reads(j)) ||
+		addrsIntersect(a.reads(i), a.writes(j)) {
 		return false
 	}
 	return true
@@ -391,10 +493,14 @@ func indep(a *analysis, i, j int) bool {
 // --- execution ---------------------------------------------------------------
 
 // applyDrain retires the oldest buffered store of thread tid, in place.
+// The remaining entries shift down rather than reslicing forward: a
+// forward reslice would bleed the array's front capacity away, and every
+// later cloneInto of the state would have to reallocate the buffer.
 func applyDrain(s *state, tid int) {
 	t := &s.threads[tid]
 	en := t.buf[0]
-	t.buf = t.buf[1:]
+	copy(t.buf, t.buf[1:])
+	t.buf = t.buf[:len(t.buf)-1]
 	s.mem[en.addr] = en.val
 }
 
@@ -457,7 +563,11 @@ func (e *engine) applyStep(s *state, tid int) error {
 			return 0, fail("arena exhausted (%d words requested at %d)", n, len(s.mem))
 		}
 		addr := int64(len(s.mem))
-		s.mem = append(s.mem, make([]int64, n)...)
+		// Appended words are zeroed explicitly: a recycled state's mem
+		// array may hold stale values beyond its length.
+		for i := int64(0); i < n; i++ {
+			s.mem = append(s.mem, 0)
+		}
 		return addr, nil
 	}
 
@@ -555,13 +665,10 @@ func (e *engine) applyStep(s *state, tid int) error {
 		}
 		advance = false
 	case ir.Call:
-		callee := e.prog.Fn(in.Callee)
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = f.regs[a]
-		}
+		// The caller's register file survives frame-stack growth (it is its
+		// own array), so arguments are read through it after the push.
 		f.idx++ // return to the next instruction
-		t.frames = append(t.frames, newFrame(callee, args, in.Dst))
+		t.pushFrame(e.prog.Fn(in.Callee), in.Dst, f.regs, in.Args)
 		advance = false
 	case ir.Spawn:
 		drainAll() // thread creation synchronizes
@@ -569,15 +676,22 @@ func (e *engine) applyStep(s *state, tid int) error {
 			return fail("spawn exceeds the %d-thread limit of the model checker", MaxThreads)
 		}
 		callee := e.prog.Fn(in.Callee)
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = f.regs[a]
-		}
 		ntid := len(s.threads)
-		s.threads = append(s.threads, thr{frames: []frm{newFrame(callee, args, ir.NoReg)}})
-		// NB: appending may have moved the threads slice; refresh t and f.
+		if ntid < cap(s.threads) {
+			// Reslice to recycle the stale thr slot's buffers and frames.
+			s.threads = s.threads[:ntid+1]
+		} else {
+			s.threads = append(s.threads, thr{})
+		}
+		// NB: growing may have moved the threads slice; refresh t and f
+		// (f.regs itself is stable — register files are separate arrays).
 		t = &s.threads[tid]
 		f = t.top()
+		nt := &s.threads[ntid]
+		nt.done = false
+		nt.buf = nt.buf[:0]
+		nt.frames = nt.frames[:0]
+		nt.pushFrame(callee, ir.NoReg, f.regs, in.Args)
 		if in.Dst != ir.NoReg {
 			f.regs[in.Dst] = int64(ntid)
 		}
@@ -608,4 +722,28 @@ func newFrame(fn *ir.Fn, args []int64, retDst ir.Reg) frm {
 	regs := make([]int64, fn.NRegs)
 	copy(regs, args)
 	return frm{fn: fn, blk: fn.Entry(), idx: 0, regs: regs, retDst: retDst}
+}
+
+// pushFrame appends a frame for callee to the thread's stack, reusing the
+// register file a recycled frm slot may still hold. Argument registers are
+// resolved through callerRegs — passed as a slice header so the values
+// stay reachable even when growing t.frames moves the stack.
+func (t *thr) pushFrame(callee *ir.Fn, retDst ir.Reg, callerRegs []int64, argRegs []ir.Reg) {
+	if len(t.frames) < cap(t.frames) {
+		t.frames = t.frames[:len(t.frames)+1]
+	} else {
+		t.frames = append(t.frames, frm{})
+	}
+	nf := &t.frames[len(t.frames)-1]
+	regs := nf.regs
+	if cap(regs) < callee.NRegs {
+		regs = make([]int64, callee.NRegs)
+	} else {
+		regs = regs[:callee.NRegs]
+		clear(regs)
+	}
+	for i, a := range argRegs {
+		regs[i] = callerRegs[a]
+	}
+	*nf = frm{fn: callee, blk: callee.Entry(), idx: 0, regs: regs, retDst: retDst}
 }

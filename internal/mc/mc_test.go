@@ -152,14 +152,17 @@ func TestPORVisitsStrictlyFewerStates(t *testing.T) {
 	}
 }
 
-// TestRandomProgramsDifferential fuzzes small flat programs and demands
-// that the reduced, unreduced and legacy engines agree on the final-state
-// set under both memory models — the soundness check for the POR rules.
-func TestRandomProgramsDifferential(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260728))
+// randomPrograms generates small flat two-thread programs over a few
+// shared globals: stores, observed loads, fences and CAS in random order.
+// Both the POR differential and the fingerprint-vs-exact differential fuzz
+// with it (different seeds).
+func randomPrograms(seed int64, trials int) map[string]*ir.Program {
+	rng := rand.New(rand.NewSource(seed))
 	shared := []string{"x", "y", "z"}
-	for trial := 0; trial < 40; trial++ {
-		pb := ir.NewProgram(fmt.Sprintf("rand%d", trial))
+	out := make(map[string]*ir.Program, trials)
+	for trial := 0; trial < trials; trial++ {
+		name := fmt.Sprintf("rand%d", trial)
+		pb := ir.NewProgram(name)
 		var gs []*ir.Global
 		for _, n := range shared {
 			gs = append(gs, pb.Global(n, 1))
@@ -185,7 +188,16 @@ func TestRandomProgramsDifferential(t *testing.T) {
 			}
 			fb.RetVoid()
 		}
-		p := pb.MustBuild()
+		out[name] = pb.MustBuild()
+	}
+	return out
+}
+
+// TestRandomProgramsDifferential fuzzes small flat programs and demands
+// that the reduced, unreduced and legacy engines agree on the final-state
+// set under both memory models — the soundness check for the POR rules.
+func TestRandomProgramsDifferential(t *testing.T) {
+	for _, p := range randomPrograms(20260728, 40) {
 		for _, mode := range []tso.Mode{tso.TSO, tso.SC} {
 			crossCheck(t, p, []string{"t0", "t1"}, mode, 2)
 		}

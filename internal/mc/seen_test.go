@@ -1,0 +1,148 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/progs"
+	"fenceplace/internal/tso"
+)
+
+// TestFingerprintMatchesExactSeen is the oracle check for the fingerprint
+// seen-set: across the litmus corpus and instrumented (expert-fenced)
+// corpus kernels, exploration keyed by 128-bit fingerprints must produce
+// exactly the outcome set and visit count of exploration keyed by full
+// canonical encodings. Visit counts are compared at one worker, where the
+// sleep-set protocol is deterministic; any fingerprint collision would
+// merge distinct states and show up as a visit-count or outcome drift.
+func TestFingerprintMatchesExactSeen(t *testing.T) {
+	type tc struct {
+		name    string
+		prog    *ir.Program
+		threads []string
+	}
+	cases := []tc{
+		{"sb", sb(false), []string{"t0", "t1"}},
+		{"sb+f", sb(true), []string{"t0", "t1"}},
+		{"mp", mp(), []string{"t0", "t1"}},
+		{"lb", lb(), []string{"t0", "t1"}},
+		{"ring3", medium3(), []string{"t0", "t1", "t2"}},
+	}
+	for _, name := range []string{"dekker", "peterson"} {
+		m := progs.ByName(name)
+		pp := m.Defaults
+		pp.Threads = 2
+		pp.Size = 1
+		pp.Manual = true
+		cases = append(cases, tc{name + "/manual", m.Build(pp), nil})
+	}
+	for _, c := range cases {
+		for _, mode := range []tso.Mode{tso.TSO, tso.SC} {
+			t.Run(fmt.Sprintf("%s/%s", c.name, mode), func(t *testing.T) {
+				fp, err := Explore(c.prog, c.threads, Config{Mode: mode, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact, err := Explore(c.prog, c.threads, Config{Mode: mode, Workers: 1, ExactSeen: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fp.Truncated || exact.Truncated {
+					t.Fatal("exploration truncated")
+				}
+				sameKeys(t, "fingerprint vs exact outcomes", keySet(fp.Outcomes), keySet(exact.Outcomes))
+				for k, vec := range exact.Outcomes {
+					got := fp.Outcomes[k]
+					if len(got) != len(vec) {
+						t.Fatalf("outcome %s: vector length %d vs %d", k, len(got), len(vec))
+					}
+					for i := range vec {
+						if got[i] != vec[i] {
+							t.Fatalf("outcome %s: globals %v vs %v", k, got, vec)
+						}
+					}
+				}
+				if fp.Visited != exact.Visited {
+					t.Errorf("visit counts diverge: fingerprint %d, exact %d", fp.Visited, exact.Visited)
+				}
+			})
+		}
+	}
+}
+
+// TestFingerprintMatchesExactSeenRandom fuzzes flat programs through both
+// seen-set modes (the same generator as the POR differential, different
+// seed) so the oracle check is not limited to hand-picked shapes.
+func TestFingerprintMatchesExactSeenRandom(t *testing.T) {
+	progsByName := randomPrograms(20260729, 25)
+	for name, p := range progsByName {
+		for _, mode := range []tso.Mode{tso.TSO, tso.SC} {
+			fp, err := Explore(p, []string{"t0", "t1"}, Config{Mode: mode, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := Explore(p, []string{"t0", "t1"}, Config{Mode: mode, Workers: 1, ExactSeen: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameKeys(t, fmt.Sprintf("%s/%s fingerprint vs exact", name, mode),
+				keySet(fp.Outcomes), keySet(exact.Outcomes))
+			if fp.Visited != exact.Visited {
+				t.Errorf("%s/%s: visit counts diverge: fingerprint %d, exact %d", name, mode, fp.Visited, exact.Visited)
+			}
+		}
+	}
+}
+
+// TestExploreSteadyStateAllocs is the allocation regression test for the
+// hot path: exploring a program whose state space dwarfs the engine's
+// fixed setup cost must allocate per exploration, not per state. ring3
+// visits thousands of states under TSO; the bound below is a multiple of
+// the engine's setup footprint (shard tables, worker scratch, channel) and
+// two orders of magnitude under a states-proportional count.
+func TestExploreSteadyStateAllocs(t *testing.T) {
+	p := medium3()
+	var visited int64
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := Explore(p, []string{"t0", "t1", "t2"}, Config{Mode: tso.TSO, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited = res.Visited
+	})
+	if visited < 1000 {
+		t.Fatalf("ring3 visited only %d states; the bound below is meaningless", visited)
+	}
+	const maxAllocs = 400
+	if allocs > maxAllocs {
+		t.Errorf("Explore allocated %.0f times for %d states (budget %d): the steady state is allocating again",
+			allocs, visited, maxAllocs)
+	}
+	t.Logf("%.0f allocs for %d states", allocs, visited)
+}
+
+// TestHash128Vectors pins the murmur3 x64/128 implementation to reference
+// digests so a silent change to the fingerprint function cannot slip in.
+func TestHash128Vectors(t *testing.T) {
+	cases := []struct {
+		in     string
+		hi, lo uint64
+	}{
+		// Reference values from the canonical C++ MurmurHash3_x64_128
+		// (seed 0), little-endian digest split into two words.
+		{"", 0, 0},
+		{"hello", 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		// Wikipedia quotes this digest as the byte stream
+		// 6c1b07bc7bbc4be3 47939ac4a93c437a; the words below are its two
+		// little-endian uint64 halves, matching the convention above.
+		{"The quick brown fox jumps over the lazy dog", 0xe34bbc7bbc071b6c, 0x7a433ca9c49a9347},
+	}
+	for _, c := range cases {
+		got := hash128([]byte(c.in))
+		if got.hi != c.hi || got.lo != c.lo {
+			t.Errorf("hash128(%q) = %016x%016x, want %016x%016x", c.in, got.hi, got.lo, c.hi, c.lo)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package passes
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,9 +27,11 @@ import (
 	"fenceplace/internal/escape"
 	"fenceplace/internal/fence"
 	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/par"
 	"fenceplace/internal/slicer"
+	"fenceplace/internal/tso"
 )
 
 // Strategy selects a fence-placement variant. It mirrors the public
@@ -104,8 +107,28 @@ type Session struct {
 	planM  [numStrategies]memo[*fence.Plan]
 	instM  [numStrategies]memo[applied]
 
+	bmu       sync.Mutex
+	baselines map[baselineKey]*baselineEntry
+
 	tmu     sync.Mutex
 	timings []Timing
+}
+
+// baselineKey identifies one certification baseline: the entry
+// configuration plus the normalized exploration config it was explored
+// under. Keying by the normalized form lets a zero-valued config and an
+// explicitly-defaulted one share the entry.
+type baselineKey struct {
+	threads string
+	cfg     mc.Config
+}
+
+// baselineEntry is a once-per-key SC exploration; errors are memoized too
+// (a truncated baseline will not complete on retry with the same budget).
+type baselineEntry struct {
+	once sync.Once
+	b    *mc.Baseline
+	err  error
 }
 
 // NewSession finalizes the program and prepares an empty session; every
@@ -340,4 +363,34 @@ func (s *Session) Applied(st Strategy) (*ir.Program, map[*ir.Instr]*ir.Instr) {
 func (s *Session) Instrumented(st Strategy) *ir.Program {
 	inst, _ := s.Applied(st)
 	return inst
+}
+
+// CertBaseline returns the memoized certification baseline of the
+// session's program: its reachable final-state set under sequential
+// consistency, explored once per (entry configuration, normalized
+// exploration config) no matter how many placement strategies are
+// certified against it. Concurrent callers with the same key block on one
+// exploration; errors (including truncation) are memoized, since retrying
+// with an identical budget cannot succeed.
+func (s *Session) CertBaseline(threadFns []string, cfg mc.Config) (*mc.Baseline, error) {
+	ncfg := cfg.Normalize()
+	ncfg.Mode = tso.SC // the baseline side is always the SC exploration
+	key := baselineKey{threads: strings.Join(threadFns, ","), cfg: ncfg}
+
+	s.bmu.Lock()
+	if s.baselines == nil {
+		s.baselines = make(map[baselineKey]*baselineEntry)
+	}
+	en := s.baselines[key]
+	if en == nil {
+		en = &baselineEntry{}
+		s.baselines[key] = en
+	}
+	s.bmu.Unlock()
+
+	en.once.Do(func() {
+		defer s.record("mc-baseline", time.Now())
+		en.b, en.err = mc.NewBaseline(s.prog, threadFns, ncfg)
+	})
+	return en.b, en.err
 }

@@ -10,6 +10,7 @@ import (
 	"fenceplace/internal/escape"
 	"fenceplace/internal/fence"
 	"fenceplace/internal/ir"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/progs"
 )
@@ -201,6 +202,66 @@ func TestPensieveOnlySkipsSlicing(t *testing.T) {
 		if tm.Pass == "slice-index" || strings.HasPrefix(tm.Pass, "acquire/") {
 			t.Errorf("Pensieve-only session ran %s", tm.Pass)
 		}
+	}
+}
+
+// TestCertBaselineMemoized: the session serves one certification
+// baseline per (entry configuration, normalized exploration config) —
+// including under concurrent demand — and distinguishes genuinely
+// different configurations.
+func TestCertBaselineMemoized(t *testing.T) {
+	m := progs.ByName("dekker")
+	pp := m.Defaults
+	pp.Threads = 2
+	pp.Size = 1
+	s := NewSession(m.Build(pp))
+
+	const callers = 8
+	got := make([]*mc.Baseline, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b, err := s.CertBaseline(nil, mc.Config{})
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+				return
+			}
+			got[g] = b
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("caller %d received a different baseline", g)
+		}
+	}
+	// Zero config and explicitly-defaulted config normalize to one key.
+	b, err := s.CertBaseline(nil, mc.Config{}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != got[0] {
+		t.Error("normalized config missed the memoized baseline")
+	}
+	// A different budget is a different baseline key.
+	b2, err := s.CertBaseline(nil, mc.Config{MaxStates: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 == got[0] {
+		t.Error("distinct exploration configs shared a baseline")
+	}
+	// The exploration is recorded as a pass exactly once per key.
+	n := 0
+	for _, tm := range s.Timings() {
+		if tm.Pass == "mc-baseline" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("mc-baseline recorded %d times, want 2 (one per config key)", n)
 	}
 }
 
