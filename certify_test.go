@@ -20,6 +20,7 @@ import (
 // rides on the model checker's process-wide exploration counter, which is
 // safe here because root-package tests do not run in parallel.
 func TestCertifyVariantsShareOneSCExploration(t *testing.T) {
+	t.Setenv("FENCEPLACE_CACHE_DIR", "") // exploration counts assume no disk cache
 	m := progs.ByName("dekker")
 	pp := m.Defaults
 	pp.Threads = 2
@@ -59,6 +60,7 @@ func TestCertifyVariantsShareOneSCExploration(t *testing.T) {
 // serves one Baseline per entry configuration, and its SC state set is
 // what CertifyAgainst compares variants to.
 func TestAnalyzerBaselineMemoized(t *testing.T) {
+	t.Setenv("FENCEPLACE_CACHE_DIR", "") // identity assertions assume no disk cache
 	m := progs.ByName("peterson")
 	pp := m.Defaults
 	pp.Threads = 2

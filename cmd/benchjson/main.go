@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark line: its name, iteration count, and every
@@ -30,14 +32,43 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the JSON envelope: the run's environment headers plus every
-// parsed benchmark line, in input order.
+// Report is the JSON envelope: the run's environment headers, the commit
+// and UTC timestamp the record belongs to (so the perf trajectory is
+// attributable across commits), plus every parsed benchmark line, in input
+// order.
 type Report struct {
 	GoOS       string   `json:"goos,omitempty"`
 	GoArch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	Time       string   `json:"time,omitempty"` // RFC 3339, UTC
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// resolveCommit picks the commit stamped into the envelope: an explicit
+// -commit value, then the CI environment (GITHUB_SHA, GIT_COMMIT), then
+// the working tree's HEAD; empty when none is available (the field is then
+// omitted rather than guessed).
+func resolveCommit(explicit string, getenv func(string) string, gitHead func() (string, error)) string {
+	if explicit != "" {
+		return explicit
+	}
+	for _, key := range []string{"GITHUB_SHA", "GIT_COMMIT"} {
+		if v := getenv(key); v != "" {
+			return v
+		}
+	}
+	head, err := gitHead()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(head)
+}
+
+func gitHead() (string, error) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	return string(out), err
 }
 
 // parseLine parses one `go test -bench` output line, reporting ok=false
@@ -95,6 +126,7 @@ func parse(in io.Reader, passthrough io.Writer) (*Report, error) {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	commit := flag.String("commit", "", "commit to stamp the record with (default $GITHUB_SHA, $GIT_COMMIT, then git rev-parse HEAD)")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin, os.Stderr)
@@ -102,6 +134,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	rep.Commit = resolveCommit(*commit, os.Getenv, gitHead)
+	rep.Time = time.Now().UTC().Format(time.RFC3339)
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

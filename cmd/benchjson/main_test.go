@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,30 @@ func TestParse(t *testing.T) {
 	// PASS / ok lines fall through to the passthrough stream.
 	if s := passthrough.String(); !strings.Contains(s, "PASS") || !strings.Contains(s, "ok ") {
 		t.Errorf("passthrough lost status lines: %q", s)
+	}
+}
+
+func TestResolveCommit(t *testing.T) {
+	env := func(m map[string]string) func(string) string {
+		return func(k string) string { return m[k] }
+	}
+	head := func() (string, error) { return "headsha\n", nil }
+	noHead := func() (string, error) { return "", fmt.Errorf("not a repository") }
+
+	if got := resolveCommit("explicit", env(map[string]string{"GITHUB_SHA": "ci"}), head); got != "explicit" {
+		t.Errorf("-commit override lost: %q", got)
+	}
+	if got := resolveCommit("", env(map[string]string{"GITHUB_SHA": "ci"}), noHead); got != "ci" {
+		t.Errorf("GITHUB_SHA not used: %q", got)
+	}
+	if got := resolveCommit("", env(map[string]string{"GIT_COMMIT": "jenkins"}), noHead); got != "jenkins" {
+		t.Errorf("GIT_COMMIT not used: %q", got)
+	}
+	if got := resolveCommit("", env(nil), head); got != "headsha" {
+		t.Errorf("git HEAD fallback not trimmed/used: %q", got)
+	}
+	if got := resolveCommit("", env(nil), noHead); got != "" {
+		t.Errorf("expected empty commit outside a repo, got %q", got)
 	}
 }
 

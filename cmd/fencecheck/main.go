@@ -14,6 +14,9 @@
 // With -strategy all the three placements are certified against a single
 // SC exploration of the original program (the analyzer session's memoized
 // baseline), so the run costs 1 SC + 3 TSO explorations instead of 3+3.
+// With -cache-dir (or $FENCEPLACE_CACHE_DIR) the baseline additionally
+// persists in a content-addressed store, so repeated invocations skip the
+// SC exploration entirely (inspect the store with cmd/fencecache).
 //
 // Exit status: 0 certified, 1 not SC-equivalent (or inconclusive), 2 usage.
 package main
@@ -41,6 +44,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
 		exact    = flag.Bool("exact", false, "exact string-keyed seen sets instead of fingerprints (slow oracle mode)")
 		unfenced = flag.Bool("unfenced", false, "certify the unfenced legacy build instead of the instrumented one")
+		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
 	)
 	flag.Parse()
 
@@ -63,7 +67,7 @@ func main() {
 			fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control,
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		fmt.Fprintf(os.Stderr, "unknown strategy %q (valid choices: pensieve, control, addresscontrol, all)\n", *strategy)
 		os.Exit(2)
 	}
 
@@ -75,6 +79,7 @@ func main() {
 		MaxStates: *budget,
 		Workers:   *workers,
 		ExactSeen: *exact,
+		CacheDir:  *cacheDir,
 	}
 
 	// One analyzer session for every strategy: the static passes run once,

@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 
+	"fenceplace"
 	"fenceplace/internal/exp"
 	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
@@ -29,9 +30,10 @@ func main() {
 		fig10  = flag.Bool("fig10", false, "Figure 10: simulated execution time vs manual")
 		manual = flag.Bool("manual", false, "manual fence counts (§5.3)")
 		seeds  = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
-		cert   = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
-		budget = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
-		jobs   = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
+		cert     = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
+		budget   = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
+		jobs     = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
 	)
 	flag.Parse()
 
@@ -44,7 +46,8 @@ func main() {
 		// Exhaustive certification runs the sync kernels at a reduced
 		// instantiation (2 threads) so the whole state space fits. Rows are
 		// analyzed in parallel; per row, one SC exploration serves as the
-		// baseline all four variants certify against.
+		// baseline all four variants certify against — served from the
+		// persistent store without exploring when -cache-dir is warm.
 		set := exp.CertSet()
 		rows := make([]*exp.Row, len(set))
 		w := *jobs
@@ -59,7 +62,10 @@ func main() {
 			}
 			rows[i] = exp.Analyze(set[i], pp)
 		})
-		fmt.Println(exp.CertTable(rows, *budget))
+		fmt.Println(exp.CertTable(rows, fenceplace.CertOptions{
+			MaxStates: *budget,
+			CacheDir:  *cacheDir,
+		}))
 	}
 	if all || *fig2 {
 		fmt.Println(exp.Fig2())

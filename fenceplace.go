@@ -20,6 +20,7 @@ package fenceplace
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -340,7 +341,8 @@ type CertReport = mc.Report
 
 // CertOptions tunes a certification run. The zero value uses the model
 // checker's defaults (GOMAXPROCS workers, 2M-state budget, partial-order
-// reduction on, fingerprint seen-sets).
+// reduction on, fingerprint seen-sets) and no baseline persistence beyond
+// $FENCEPLACE_CACHE_DIR.
 type CertOptions struct {
 	MaxStates int64 // state budget per exploration; exceeded => error
 	Workers   int   // parallel exploration workers
@@ -348,19 +350,43 @@ type CertOptions struct {
 	MemoryCap int   // arena limit in words (default 1<<16)
 	ExactSeen bool  // exact string-keyed seen sets (slow oracle mode)
 	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
+
+	// CacheDir names a persistent, content-addressed baseline store
+	// (internal/store): SC explorations are looked up there by canonical
+	// program+config hash before running and written back after, so
+	// repeated certification runs — across processes and machines —
+	// warm-start past the SC side entirely. Empty means the
+	// FENCEPLACE_CACHE_DIR environment variable, then no persistence.
+	// Corrupt or truncated store entries degrade to cache misses (and are
+	// quarantined); they can never yield a wrong certification.
+	CacheDir string
 }
 
-// mcConfig maps certification options onto a model-checker configuration.
-// Every exploration-shaping Config field has a CertOptions counterpart, so
-// the session-baseline path and the standalone path explore identically.
-func mcConfig(opt CertOptions) mc.Config {
+// EffectiveCacheDir resolves the baseline store directory the options
+// select: the explicit CacheDir, else $FENCEPLACE_CACHE_DIR, else "" (no
+// persistence).
+func (o CertOptions) EffectiveCacheDir() string {
+	if o.CacheDir != "" {
+		return o.CacheDir
+	}
+	return os.Getenv("FENCEPLACE_CACHE_DIR")
+}
+
+// MCConfig maps the certification options onto a model-checker
+// configuration. Every exploration-shaping Config field has a CertOptions
+// counterpart, so the session-baseline path and the standalone path
+// explore identically; it is exported as the single source of this mapping
+// for tooling built on the module (the experiment harness). CacheDir is
+// deliberately absent: it routes through the baseline loader, not the
+// exploration.
+func (o CertOptions) MCConfig() mc.Config {
 	return mc.Config{
-		MaxStates: opt.MaxStates,
-		Workers:   opt.Workers,
-		BufferCap: opt.BufferCap,
-		MemoryCap: opt.MemoryCap,
-		ExactSeen: opt.ExactSeen,
-		NoPOR:     opt.NoPOR,
+		MaxStates: o.MaxStates,
+		Workers:   o.Workers,
+		BufferCap: o.BufferCap,
+		MemoryCap: o.MemoryCap,
+		ExactSeen: o.ExactSeen,
+		NoPOR:     o.NoPOR,
 	}
 }
 
@@ -392,25 +418,35 @@ func CertifyThreads(res *Result, threads []string) (*CertReport, error) {
 // CertifyOpt is CertifyThreads with explicit exploration options. Results
 // produced by an Analyzer certify against the SC baseline memoized in the
 // producing session, so certifying all strategies of one program performs
-// exactly one SC exploration; hand-built Results fall back to the
-// two-exploration mc.Certify.
+// at most one SC exploration; hand-built Results build (or load) a
+// baseline per call. With a cache directory in play (CacheDir or
+// $FENCEPLACE_CACHE_DIR) both paths consult the persistent baseline store
+// first and write fresh explorations back, so a warm store eliminates the
+// SC side across processes.
 func CertifyOpt(res *Result, threads []string, opt CertOptions) (*CertReport, error) {
-	cfg := mcConfig(opt)
+	cfg := opt.MCConfig()
+	dir := opt.EffectiveCacheDir()
 	if res.sess != nil {
-		base, err := res.sess.CertBaseline(threads, cfg)
+		base, err := res.sess.CertBaselineAt(threads, cfg, dir)
 		if err != nil {
 			return nil, err
 		}
 		return mc.CertifyAgainst(base, res.Instrumented, cfg)
 	}
-	return mc.Certify(res.Prog, res.Instrumented, threads, cfg)
+	base, _, err := passes.LoadOrExploreBaseline(res.Prog, threads, cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	return mc.CertifyAgainst(base, res.Instrumented, cfg)
 }
 
 // Baseline returns the analyzer's memoized SC exploration for the given
 // entry configuration (nil threads explores from main), computing it on
-// first use. Callers fanning certification out over variants — or over
-// expert builds of the same program that no Result carries — pair it with
-// mc.CertifyAgainst via CertifyOpt's session reuse or internal tooling.
+// first use — or loading it from the persistent baseline store when
+// opt.CacheDir (or $FENCEPLACE_CACHE_DIR) names one. Callers fanning
+// certification out over variants — or over expert builds of the same
+// program that no Result carries — pair it with mc.CertifyAgainst via
+// CertifyOpt's session reuse or internal tooling.
 func (a *Analyzer) Baseline(threads []string, opt CertOptions) (*CertBaseline, error) {
-	return a.sess.CertBaseline(threads, mcConfig(opt))
+	return a.sess.CertBaselineAt(threads, opt.MCConfig(), opt.EffectiveCacheDir())
 }

@@ -3,12 +3,14 @@ package exp
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"fenceplace"
 	"fenceplace/internal/mc"
 	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/stats"
+	"fenceplace/internal/store"
 )
 
 // CertStatus classifies one certification attempt.
@@ -64,9 +66,11 @@ func (c CertCell) String() string {
 // build's SC semantics, whole-program (main spawns the workers). Rows
 // produced by Analyze share one SC exploration across every variant: the
 // baseline is memoized in the row's analyzer session, so only the TSO side
-// runs per variant.
-func (r *Row) Certify(v Variant, cfg mc.Config) CertCell {
-	rep, err := r.certify(v, cfg)
+// runs per variant. With opt.CacheDir (or $FENCEPLACE_CACHE_DIR) set, the
+// baseline additionally round-trips through the persistent store, so a
+// warm store serves the SC side without exploring at all.
+func (r *Row) Certify(v Variant, opt fenceplace.CertOptions) CertCell {
+	rep, err := r.certify(v, opt)
 	switch {
 	case errors.Is(err, mc.ErrTruncated):
 		return CertCell{Status: CertBudget, Err: err}
@@ -80,50 +84,69 @@ func (r *Row) Certify(v Variant, cfg mc.Config) CertCell {
 }
 
 // certify runs the variant's TSO exploration against the shared SC
-// baseline when the row carries an analyzer, or the standalone
-// two-exploration certification when it does not.
-func (r *Row) certify(v Variant, cfg mc.Config) (*mc.Report, error) {
+// baseline when the row carries an analyzer, or hands a synthetic Result
+// to the facade when it does not — one code path owns the baseline
+// loading and option mapping either way.
+func (r *Row) certify(v Variant, opt fenceplace.CertOptions) (*mc.Report, error) {
 	if r.az == nil {
-		return mc.Certify(r.Prog, r.Inst[v], nil, cfg)
+		res := &fenceplace.Result{Prog: r.Prog, Instrumented: r.Inst[v]}
+		return fenceplace.CertifyOpt(res, nil, opt)
 	}
-	base, err := r.az.Baseline(nil, fenceplace.CertOptions{
-		MaxStates: cfg.MaxStates,
-		Workers:   cfg.Workers,
-		BufferCap: cfg.BufferCap,
-		MemoryCap: cfg.MemoryCap,
-		ExactSeen: cfg.ExactSeen,
-		NoPOR:     cfg.NoPOR,
-	})
+	base, err := r.az.Baseline(nil, opt)
 	if err != nil {
 		return nil, err
 	}
-	return mc.CertifyAgainst(base, r.Inst[v], cfg)
+	return mc.CertifyAgainst(base, r.Inst[v], opt.MCConfig())
 }
 
 // CertTable renders the certification column of the evaluation: for each
 // program and variant, whether the placed fences provably restore SC.
 // Exhaustive certification only scales to small instantiations, so callers
 // analyze the corpus at reduced parameters (cmd/paperbench uses Threads=2)
-// and bound the exploration with maxStates. Per row, the SC state space is
-// explored once (the session baseline) and the four variant TSO
+// and bound the exploration with opt.MaxStates. Per row, the SC state
+// space is explored once (the session baseline) and the four variant TSO
 // explorations fan out over it concurrently.
-func CertTable(rows []*Row, maxStates int64) string {
+//
+// The table's footer reports how warm the run was: the number of SC
+// explorations actually performed, and — when a baseline store is in play
+// — its hit/miss/quarantine deltas. A fully warm store makes the footer
+// read "SC explorations: 0", which CI asserts on its second run.
+func CertTable(rows []*Row, opt fenceplace.CertOptions) string {
+	scBefore := mc.SCExploreRuns()
+	dir := opt.EffectiveCacheDir()
+	var st *store.Store
+	var stBefore store.Stats
+	if dir != "" {
+		if st, _ = store.Open(dir); st != nil {
+			stBefore = st.Stats()
+		}
+	}
+
 	t := stats.NewTable("program", "Manual", "Pensieve", "Address+Control", "Control")
-	cfg := mc.Config{MaxStates: maxStates}
 	for _, r := range rows {
 		// The concurrent Certify calls collapse onto one SC exploration:
 		// the session baseline is a per-key sync.Once, so the first caller
-		// builds it and the rest block on it.
+		// builds (or loads) it and the rest block on it.
 		cells := make([]string, len(Variants))
 		par.ForEach(len(Variants), len(Variants), func(i int) {
-			cells[i] = r.Certify(Variants[i], cfg).String()
+			cells[i] = r.Certify(Variants[i], opt).String()
 		})
 		t.Add(append([]string{r.Meta.Name}, cells...)...)
 	}
-	return "Certification: exhaustive SC-equivalence of the placed fences\n" +
+
+	var sb strings.Builder
+	sb.WriteString("Certification: exhaustive SC-equivalence of the placed fences\n" +
 		"(model checker: TSO final states of the instrumented build vs SC final states\n" +
 		"of the legacy build; a VIOLATION on a pruned variant means the program is\n" +
-		"not DRF or the fences are insufficient)\n" + t.String()
+		"not DRF or the fences are insufficient)\n")
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "\nSC explorations: %d\n", mc.SCExploreRuns()-scBefore)
+	if st != nil {
+		d := st.Stats().Sub(stBefore)
+		fmt.Fprintf(&sb, "baseline cache (%s): %d warm hits, %d cold misses, %d written, %d quarantined\n",
+			st.Dir(), d.Hits, d.Misses, d.Puts, d.Quarantined)
+	}
+	return sb.String()
 }
 
 // CertSet returns corpus programs small enough for exhaustive

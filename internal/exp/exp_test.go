@@ -6,8 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"fenceplace"
 	"fenceplace/internal/ir"
-	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/progs"
 )
@@ -203,7 +203,8 @@ func TestVariantNames(t *testing.T) {
 // Dekker-family kernels at a reduced instantiation: every variant must be
 // certified SC-equivalent, and the unfenced legacy build must not be.
 func TestCertificationColumn(t *testing.T) {
-	cfg := mc.Config{MaxStates: 1 << 20}
+	t.Setenv("FENCEPLACE_CACHE_DIR", "") // never read or write the operator's cache
+	cfg := fenceplace.CertOptions{MaxStates: 1 << 20}
 	for _, name := range []string{"dekker", "peterson"} {
 		m := progs.ByName(name)
 		pp := m.Defaults
@@ -225,13 +226,17 @@ func TestCertificationColumn(t *testing.T) {
 }
 
 func TestCertTableRenders(t *testing.T) {
+	t.Setenv("FENCEPLACE_CACHE_DIR", "") // never read or write the operator's cache
 	m := progs.ByName("peterson")
 	pp := m.Defaults
 	pp.Threads = 2
 	pp.Size = 1
-	s := CertTable([]*Row{Analyze(m, pp)}, 1<<20)
+	s := CertTable([]*Row{Analyze(m, pp)}, fenceplace.CertOptions{MaxStates: 1 << 20})
 	if !strings.Contains(s, "certified") || !strings.Contains(s, "peterson") {
 		t.Errorf("certification table incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "SC explorations:") {
+		t.Errorf("certification table missing the warm-vs-cold footer:\n%s", s)
 	}
 	if len(CertSet()) == 0 {
 		t.Error("empty certification set")

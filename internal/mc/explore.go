@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"fenceplace/internal/ir"
+	"fenceplace/internal/tso"
 )
 
 const nShards = 64 // seen-set shards; fine-grained locking for the pool
@@ -141,6 +142,16 @@ var exploreRuns atomic.Int64
 // exactly N+1 (one SC exploration plus one TSO exploration per variant).
 func ExploreRuns() int64 { return exploreRuns.Load() }
 
+// scExploreRuns counts the SC-mode subset of exploreRuns. The persistent
+// baseline store is judged against it: a fully warm certification run must
+// leave it untouched (every SC baseline served from disk).
+var scExploreRuns atomic.Int64
+
+// SCExploreRuns returns the cumulative number of SC-mode Explore
+// invocations in this process — the explorations a warm baseline cache
+// exists to avoid.
+func SCExploreRuns() int64 { return scExploreRuns.Load() }
+
 // newEngine builds an engine and the initial state for the given entry
 // configuration (thread functions, or the program's main when nil).
 func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, error) {
@@ -201,6 +212,9 @@ func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, 
 // must treat it as inconclusive, never as a verdict.
 func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
 	exploreRuns.Add(1)
+	if cfg.Mode == tso.SC {
+		scExploreRuns.Add(1)
+	}
 	e, init, err := newEngine(p, threadFns, cfg)
 	if err != nil {
 		return nil, err

@@ -31,6 +31,7 @@ import (
 	"fenceplace/internal/orders"
 	"fenceplace/internal/par"
 	"fenceplace/internal/slicer"
+	"fenceplace/internal/store"
 	"fenceplace/internal/tso"
 )
 
@@ -373,6 +374,17 @@ func (s *Session) Instrumented(st Strategy) *ir.Program {
 // exploration; errors (including truncation) are memoized, since retrying
 // with an identical budget cannot succeed.
 func (s *Session) CertBaseline(threadFns []string, cfg mc.Config) (*mc.Baseline, error) {
+	return s.CertBaselineAt(threadFns, cfg, "")
+}
+
+// CertBaselineAt is CertBaseline backed by the persistent baseline store
+// at cacheDir (empty: in-memory memoization only). On an in-session miss
+// the store is consulted before exploring — a warm entry skips the SC
+// exploration entirely — and a freshly explored baseline is written back
+// for future processes. The in-memory key is unchanged, so mixed callers
+// share one entry per configuration; the first caller's cache directory
+// decides whether the disk is involved.
+func (s *Session) CertBaselineAt(threadFns []string, cfg mc.Config, cacheDir string) (*mc.Baseline, error) {
 	ncfg := cfg.Normalize()
 	ncfg.Mode = tso.SC // the baseline side is always the SC exploration
 	key := baselineKey{threads: strings.Join(threadFns, ","), cfg: ncfg}
@@ -389,8 +401,55 @@ func (s *Session) CertBaseline(threadFns []string, cfg mc.Config) (*mc.Baseline,
 	s.bmu.Unlock()
 
 	en.once.Do(func() {
-		defer s.record("mc-baseline", time.Now())
-		en.b, en.err = mc.NewBaseline(s.prog, threadFns, ncfg)
+		start := time.Now()
+		b, warm, err := LoadOrExploreBaseline(s.prog, threadFns, ncfg, cacheDir)
+		pass := "mc-baseline"
+		if warm {
+			pass = "mc-baseline/warm"
+		}
+		s.record(pass, start)
+		en.b, en.err = b, err
 	})
 	return en.b, en.err
+}
+
+// LoadOrExploreBaseline produces the SC certification baseline of (p,
+// threadFns, cfg), consulting the persistent store at cacheDir first. A
+// verified store entry is decoded and returned without exploring (warm =
+// true); a miss — including corrupt or truncated entries, which the store
+// quarantines — falls back to a fresh SC exploration whose result is
+// written back. An unusable cache directory degrades to the uncached path:
+// persistence is an optimization and must never fail a certification that
+// exploration could complete.
+func LoadOrExploreBaseline(p *ir.Program, threadFns []string, cfg mc.Config, cacheDir string) (b *mc.Baseline, warm bool, err error) {
+	ncfg := cfg.Normalize()
+	ncfg.Mode = tso.SC
+
+	var st *store.Store
+	var key string
+	if cacheDir != "" {
+		if st, _ = store.Open(cacheDir); st != nil {
+			key = mc.BaselineKey(p, threadFns, ncfg).String()
+			if data, ok := st.Get(key); ok {
+				if b, err := mc.UnmarshalBaseline(p, threadFns, ncfg, data); err == nil {
+					return b, true, nil
+				}
+				// The framing verified but the record did not decode (e.g.
+				// an incompatible codec version): reclassify as a miss and
+				// quarantine.
+				st.Reject(key)
+			}
+		}
+	}
+
+	b, err = mc.NewBaseline(p, threadFns, ncfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != nil {
+		if data, merr := b.MarshalBinary(); merr == nil {
+			_ = st.Put(key, data) // best-effort write-back
+		}
+	}
+	return b, false, nil
 }

@@ -1,0 +1,419 @@
+// Package store is a persistent, content-addressed artifact store: the
+// disk layer behind warm-starting certification baselines across
+// processes. Artifacts are opaque byte payloads filed under 128-bit
+// content keys (32 lowercase hex digits, produced by mc.BaselineKey) in
+// two-level sharded directories:
+//
+//	<dir>/<key[:2]>/<key>.art    one artifact per file
+//	<dir>/tmp/                   in-flight writes (atomically renamed in)
+//	<dir>/quarantine/            entries that failed integrity or decoding
+//
+// Every entry is framed with a magic+version header, the payload length
+// and a checksum; Get verifies all three, so a truncated, bit-flipped or
+// foreign file degrades to a cache miss — never to wrong data — and the
+// offending file is moved to quarantine/ for post-mortem instead of being
+// served again. Writes go through a temp file plus rename, so readers
+// (including concurrent processes sharing the directory) only ever observe
+// complete entries. A size-bounded GC evicts oldest-first, and hit/miss/
+// evict/quarantine counters feed the warm-vs-cold reporting of the
+// experiment harness and the fencecache CLI.
+//
+// Open memoizes one Store per directory process-wide, so every session
+// certifying against the same cache shares one handle and one set of
+// counters.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	suffix        = ".art"
+	tmpDirName    = "tmp"
+	quarDirName   = "quarantine"
+	headerSize    = 4 + 8 + 8 // magic+version, payload length, checksum
+	formatVersion = 1
+)
+
+// magic heads every entry file; the fourth byte is the format version.
+var magic = [4]byte{'F', 'P', 'S', formatVersion}
+
+// Stats is a snapshot of a store's counters. Counters are per-process and
+// cumulative since Open; Sub produces the delta over a window.
+type Stats struct {
+	Hits        int64 // Get served a verified entry
+	Misses      int64 // Get found nothing usable (absent, corrupt, invalid key)
+	Puts        int64 // entries written
+	Evicted     int64 // entries removed by GC
+	Quarantined int64 // entries moved aside after failing integrity/decoding
+}
+
+// Sub returns the counter delta s - prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		Puts:        s.Puts - prev.Puts,
+		Evicted:     s.Evicted - prev.Evicted,
+		Quarantined: s.Quarantined - prev.Quarantined,
+	}
+}
+
+// Entry describes one stored artifact.
+type Entry struct {
+	Key     string
+	Size    int64 // file size, framing included
+	ModTime time.Time
+}
+
+// Store is one content-addressed artifact directory. All methods are safe
+// for concurrent use; cross-process safety rests on atomic renames.
+type Store struct {
+	dir string
+
+	hits, misses, puts, evicted, quarantined atomic.Int64
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Store{}
+)
+
+// Open returns the process-shared Store for dir, creating the directory
+// skeleton on first use. Repeated opens of one directory return the same
+// handle, so counters aggregate across all users of the cache.
+func Open(dir string) (*Store, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: resolve %q: %w", dir, err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s := registry[abs]; s != nil {
+		return s, nil
+	}
+	for _, sub := range []string{tmpDirName, quarDirName} {
+		if err := os.MkdirAll(filepath.Join(abs, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: init %q: %w", abs, err)
+		}
+	}
+	s := &Store{dir: abs}
+	registry[abs] = s
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evicted:     s.evicted.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// validKey reports whether key is a usable content key: lowercase hex,
+// long enough to shard on. Anything else is rejected before it can name a
+// path outside the store.
+func validKey(key string) bool {
+	if len(key) < 4 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+suffix)
+}
+
+// fnv1a64 checksums entry payloads. It guards against torn or bit-rotted
+// files, not adversaries — the store lives in a local cache directory.
+func fnv1a64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// frame wraps payload in the on-disk entry format.
+func frame(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(buf[12:20], fnv1a64(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// unframe verifies an entry file's framing and returns its payload, or
+// ok=false for any integrity failure (short file, bad magic or version,
+// length mismatch, checksum mismatch).
+func unframe(data []byte) (payload []byte, ok bool) {
+	if len(data) < headerSize || [4]byte(data[:4]) != magic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[4:12])
+	sum := binary.LittleEndian.Uint64(data[12:20])
+	payload = data[headerSize:]
+	if uint64(len(payload)) != n || fnv1a64(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Get returns the verified payload stored under key. Every failure mode —
+// absent entry, unreadable file, framing violation — is a miss; entries
+// that exist but fail verification are additionally quarantined so the
+// next run does not re-read known-bad bytes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := unframe(data)
+	if !ok {
+		s.Quarantine(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under key, atomically: the framed entry is written to
+// the store's tmp directory and renamed into place, so a concurrent Get
+// (or a reader in another process) sees either the old entry, the new one,
+// or a miss — never a torn write. Losing a Put/Put race is harmless:
+// content addressing makes both writers' bytes identical.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpDirName), key+".*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(frame(payload))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, s.entryPath(key))
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Reject reclassifies an entry Get just served: the caller's decoder
+// refused a payload that passed framing (e.g. a record from an
+// incompatible codec version). The hit becomes a miss — the entry was not
+// usable, and warm-vs-cold reporting must say so — and the entry is
+// quarantined.
+func (s *Store) Reject(key string) {
+	s.hits.Add(-1)
+	s.misses.Add(1)
+	s.Quarantine(key)
+}
+
+// Quarantine moves the entry stored under key into the quarantine
+// directory. Get calls it for framing failures; decode-level failures go
+// through Reject, which also fixes up the hit/miss accounting.
+func (s *Store) Quarantine(key string) {
+	if !validKey(key) {
+		return
+	}
+	src := s.entryPath(key)
+	dst := filepath.Join(s.dir, quarDirName, key+suffix)
+	os.Remove(dst) // a previous quarantine of the same key gives way
+	if err := os.Rename(src, dst); err != nil {
+		// Rename can fail when another process already moved or removed
+		// the entry; removing covers the remaining local failure modes.
+		if os.Remove(src) != nil {
+			return
+		}
+	}
+	s.quarantined.Add(1)
+}
+
+// List enumerates the stored entries (quarantined and in-flight files
+// excluded), sorted by key.
+func (s *Store) List() ([]Entry, error) {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var out []Entry
+	for _, sh := range shards {
+		if !sh.IsDir() || sh.Name() == tmpDirName || sh.Name() == quarDirName {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue // shard vanished under a concurrent GC
+		}
+		for _, f := range files {
+			key, isEntry := strings.CutSuffix(f.Name(), suffix)
+			if f.IsDir() || !isEntry || !validKey(key) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, Entry{Key: key, Size: info.Size(), ModTime: info.ModTime()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Verify integrity-checks every stored entry, quarantining the ones whose
+// framing no longer verifies, and returns the surviving count plus the
+// keys of the quarantined entries.
+func (s *Store) Verify() (ok int, bad []string, err error) {
+	entries, err := s.List()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, en := range entries {
+		data, rerr := os.ReadFile(s.entryPath(en.Key))
+		if rerr != nil {
+			continue // removed concurrently: neither good nor bad
+		}
+		if _, valid := unframe(data); !valid {
+			s.Quarantine(en.Key)
+			bad = append(bad, en.Key)
+			continue
+		}
+		ok++
+	}
+	sort.Strings(bad)
+	return ok, bad, nil
+}
+
+// staleTmpAge is how old an in-flight temp file must be before GC treats
+// it as the orphan of a crashed writer rather than a live Put.
+const staleTmpAge = time.Hour
+
+// GC bounds the store to maxBytes of entry data by evicting entries
+// oldest-first (by modification time) until the total fits. It also
+// reclaims the space no other path ever frees: quarantined entries (their
+// post-mortem window ends at the next GC) and temp files orphaned by
+// crashed writers (older than an hour, so a live Put is never raced). It
+// returns the live-entry eviction count and the total bytes freed.
+func (s *Store) GC(maxBytes int64) (evicted int, freed int64, err error) {
+	if maxBytes < 0 {
+		return 0, 0, fmt.Errorf("store: gc: negative size bound %d", maxBytes)
+	}
+	freed += s.purgeDir(filepath.Join(s.dir, quarDirName), 0)
+	freed += s.purgeDir(filepath.Join(s.dir, tmpDirName), staleTmpAge)
+	entries, err := s.List()
+	if err != nil {
+		return 0, freed, err
+	}
+	var total int64
+	for _, en := range entries {
+		total += en.Size
+	}
+	if total <= maxBytes {
+		return 0, freed, nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ModTime.Before(entries[j].ModTime) })
+	for _, en := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if rerr := os.Remove(s.entryPath(en.Key)); rerr != nil && !os.IsNotExist(rerr) {
+			return evicted, freed, fmt.Errorf("store: gc: %w", rerr)
+		}
+		total -= en.Size
+		freed += en.Size
+		evicted++
+		s.evicted.Add(1)
+	}
+	return evicted, freed, nil
+}
+
+// purgeDir removes the plain files of dir older than minAge (zero: all of
+// them) and returns the bytes reclaimed.
+func (s *Store) purgeDir(dir string, minAge time.Duration) (freed int64) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-minAge)
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, f.Name())) == nil {
+			freed += info.Size()
+		}
+	}
+	return freed
+}
+
+// Quarantined enumerates the quarantined entries — corrupt or undecodable
+// files set aside for post-mortem (reclaimed by the next GC).
+func (s *Store) Quarantined() ([]Entry, error) {
+	files, err := os.ReadDir(filepath.Join(s.dir, quarDirName))
+	if err != nil {
+		return nil, fmt.Errorf("store: quarantined: %w", err)
+	}
+	var out []Entry
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{
+			Key:     strings.TrimSuffix(f.Name(), suffix),
+			Size:    info.Size(),
+			ModTime: info.ModTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
