@@ -10,6 +10,7 @@
 //	fencecheck -prog dekker -unfenced           # show why the legacy build needs fences
 //	fencecheck -file prog.ir -entry t0,t1       # litmus-style: explicit flat threads
 //	fencecheck -prog lamport -threads 2 -budget 4194304
+//	fencecheck -prog dekker -strategy all -json # machine-readable corpus Report row
 //
 // With -strategy all the three placements are certified against a single
 // SC exploration of the original program (the analyzer session's memoized
@@ -18,18 +19,37 @@
 // persists in a content-addressed store, so repeated invocations skip the
 // SC exploration entirely (inspect the store with cmd/fencecache).
 //
-// Exit status: 0 certified, 1 not SC-equivalent (or inconclusive), 2 usage.
+// -json emits the certification as a fenceplace/corpus Report (one Row,
+// cert verdicts per strategy) on stdout instead of prose; such reports
+// merge with other corpus reports and feed the same table renderers.
+//
+// Exit status is three-valued so scripts can tell verdicts from
+// breakage: 0 every certified placement is SC-equivalent; 1 some
+// placement is provably not SC-equivalent; 2 the verdict is unknown —
+// usage error, exploration failure, or a state budget exhausted
+// (inconclusive is not a verdict).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"fenceplace"
+	"fenceplace/corpus"
 	"fenceplace/internal/progs"
+)
+
+const (
+	exitEquivalent    = 0 // every certified placement is SC-equivalent
+	exitNotEquivalent = 1 // a placement is provably not SC-equivalent
+	exitError         = 2 // usage, exploration error, or truncated/inconclusive
 )
 
 func main() {
@@ -45,13 +65,17 @@ func main() {
 		exact    = flag.Bool("exact", false, "exact string-keyed seen sets instead of fingerprints (slow oracle mode)")
 		unfenced = flag.Bool("unfenced", false, "certify the unfenced legacy build instead of the instrumented one")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
+		jsonOut  = flag.Bool("json", false, "emit the certification as a corpus Report row (JSON) instead of prose")
 	)
 	flag.Parse()
 
-	prog, err := loadProgram(*progName, *file, *threads, *size)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	name, prog, err := loadProgram(*progName, *file, *threads, *size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitError)
 	}
 
 	var strategies []fenceplace.Strategy
@@ -68,25 +92,86 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown strategy %q (valid choices: pensieve, control, addresscontrol, all)\n", *strategy)
-		os.Exit(2)
+		os.Exit(exitError)
 	}
 
 	var entries []string
 	if *entry != "" {
 		entries = strings.Split(*entry, ",")
 	}
-	opt := fenceplace.CertOptions{
-		MaxStates: *budget,
-		Workers:   *workers,
-		ExactSeen: *exact,
-		CacheDir:  *cacheDir,
+	opts := []fenceplace.Option{
+		fenceplace.WithMaxStates(*budget),
+		fenceplace.WithWorkers(*workers),
 	}
+	if *exact {
+		opts = append(opts, fenceplace.WithExactSeen())
+	}
+	if *cacheDir != "" {
+		opts = append(opts, fenceplace.WithCacheDir(*cacheDir))
+	}
+	// Pin the configuration (environment defaults included) once for the
+	// whole invocation.
+	opts = fenceplace.Resolved(opts...)
 
+	if *jsonOut {
+		if *unfenced {
+			fmt.Fprintln(os.Stderr, "-json does not support -unfenced (the unfenced build is no placement variant)")
+			os.Exit(exitError)
+		}
+		os.Exit(runJSON(ctx, name, prog, strategies, entries, opts))
+	}
+	os.Exit(runText(ctx, prog, strategies, entries, opts, *unfenced))
+}
+
+// runJSON certifies through the corpus runner and emits the Report row.
+func runJSON(ctx context.Context, name string, prog *fenceplace.Program, strategies []fenceplace.Strategy, entries []string, opts []fenceplace.Option) int {
+	runner := corpus.Runner{
+		Strategies: strategies,
+		Certify:    true,
+		Threads:    entries,
+		Workers:    1,
+		Options:    opts,
+	}
+	rep, err := runner.Run(ctx, corpus.SingleSource(name, prog, nil))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	if err := rep.EncodeJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	code := exitEquivalent
+	for _, row := range rep.Rows {
+		for _, v := range row.Variants {
+			if v.Cert == nil {
+				continue
+			}
+			switch v.Cert.Status {
+			case corpus.CertViolation:
+				if code == exitEquivalent {
+					code = exitNotEquivalent
+				}
+			case corpus.CertBudget, corpus.CertError:
+				code = exitError
+			}
+		}
+	}
+	return code
+}
+
+// runText is the prose mode: per-strategy summary, verdict and
+// counterexample schedule.
+func runText(ctx context.Context, prog *fenceplace.Program, strategies []fenceplace.Strategy, entries []string, opts []fenceplace.Option, unfenced bool) int {
 	// One analyzer session for every strategy: the static passes run once,
 	// and so does the certification baseline's SC exploration.
 	az := fenceplace.NewAnalyzer(prog)
-	results := az.AnalyzeAll(strategies...)
-	if *unfenced {
+	results, err := az.AnalyzeAllCtx(ctx, strategies...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	if unfenced {
 		// Certify the legacy build against itself: this demonstrates what
 		// the fences buy by exposing the program's raw TSO behaviors. The
 		// verdict is strategy-independent, so one certification suffices
@@ -98,15 +183,15 @@ func main() {
 	failed := false
 	for _, res := range results {
 		fmt.Println(res.Summary())
-		rep, err := fenceplace.CertifyOpt(res, entries, opt)
+		rep, err := fenceplace.CertifyCtx(ctx, res, entries, opts...)
 		if err != nil {
 			if errors.Is(err, fenceplace.ErrTruncated) {
 				fmt.Fprintf(os.Stderr, "inconclusive: %v\n", err)
 				fmt.Fprintln(os.Stderr, "raise -budget or shrink -threads/-size to close the state space")
-				os.Exit(1)
+				return exitError
 			}
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Println(rep)
 		if !rep.Equivalent {
@@ -117,16 +202,17 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return exitNotEquivalent
 	}
+	return exitEquivalent
 }
 
-func loadProgram(progName, file string, threads int, size int64) (*fenceplace.Program, error) {
+func loadProgram(progName, file string, threads int, size int64) (string, *fenceplace.Program, error) {
 	switch {
 	case progName != "":
 		m := progs.ByName(progName)
 		if m == nil {
-			return nil, fmt.Errorf("unknown program %q (see fenceplace -list)", progName)
+			return "", nil, fmt.Errorf("unknown program %q (see fenceplace -list)", progName)
 		}
 		pp := m.Defaults
 		pp.Threads = threads
@@ -135,14 +221,19 @@ func loadProgram(progName, file string, threads int, size int64) (*fenceplace.Pr
 		} else if pp.Size > 2 {
 			pp.Size = 2 // exhaustive exploration needs small instantiations
 		}
-		return m.Build(pp), nil
+		return progName, m.Build(pp), nil
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		return fenceplace.Parse(string(src))
+		p, err := fenceplace.Parse(string(src))
+		if err != nil {
+			return "", nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		return name, p, nil
 	}
 	flag.Usage()
-	return nil, fmt.Errorf("one of -prog or -file is required")
+	return "", nil, fmt.Errorf("one of -prog or -file is required")
 }

@@ -95,7 +95,7 @@ func main() {
 
 	// One analyzer for all strategies: the shared session computes the
 	// strategy-independent passes once.
-	var opts []fenceplace.AnalyzerOption
+	var opts []fenceplace.Option
 	if *timing {
 		opts = append(opts, fenceplace.WithTiming())
 	}

@@ -6,99 +6,253 @@
 //	paperbench -fig7 -fig9  # selected figures
 //	paperbench -seeds 3     # average Figure 10 over 3 simulator seeds
 //	paperbench -j 4         # analyze the corpus with 4 parallel workers
+//
+// The evaluation is driven through the public fenceplace/corpus package,
+// which makes runs shardable across processes and machines:
+//
+//	paperbench -shard 1/2 -json s1.json     # analyze half the corpus
+//	paperbench -shard 2/2 -json s2.json     # ...the other half elsewhere
+//	paperbench -merge s1.json,s2.json       # render tables from the merged
+//	                                        # reports — byte-identical to an
+//	                                        # unsharded run
+//
+// -json writes the run's corpus Report (the evaluation report when
+// figures ran, else the certification report); -merge skips analysis and
+// renders the requested tables from previously written reports. Shards of
+// a -cert run merge the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"fenceplace"
+	"fenceplace/corpus"
 	"fenceplace/internal/exp"
-	"fenceplace/internal/par"
-	"fenceplace/internal/progs"
+	"fenceplace/internal/mc"
+	"fenceplace/internal/store"
 )
 
 func main() {
 	var (
-		table2 = flag.Bool("table2", false, "Table II: acquire signatures in sync kernels")
-		fig2   = flag.Bool("fig2", false, "worked example (§2.4): delay set and fence counts")
-		fig7   = flag.Bool("fig7", false, "Figure 7: acquires as % of escaping reads")
-		fig8   = flag.Bool("fig8", false, "Figure 8: ordering counts by type")
-		fig9   = flag.Bool("fig9", false, "Figure 9: full fences remaining on x86-TSO")
-		fig10  = flag.Bool("fig10", false, "Figure 10: simulated execution time vs manual")
-		manual = flag.Bool("manual", false, "manual fence counts (§5.3)")
-		seeds  = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
+		table2   = flag.Bool("table2", false, "Table II: acquire signatures in sync kernels")
+		fig2     = flag.Bool("fig2", false, "worked example (§2.4): delay set and fence counts")
+		fig7     = flag.Bool("fig7", false, "Figure 7: acquires as % of escaping reads")
+		fig8     = flag.Bool("fig8", false, "Figure 8: ordering counts by type")
+		fig9     = flag.Bool("fig9", false, "Figure 9: full fences remaining on x86-TSO")
+		fig10    = flag.Bool("fig10", false, "Figure 10: simulated execution time vs manual")
+		manual   = flag.Bool("manual", false, "manual fence counts (§5.3)")
+		seeds    = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
 		cert     = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
 		budget   = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
 		jobs     = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
+		shard    = flag.String("shard", "", "run only shard i/n of the corpus (e.g. 2/4); rows keep their unsharded index")
+		jsonOut  = flag.String("json", "", "write the run's corpus Report JSON to this file")
+		mergeIn  = flag.String("merge", "", "comma-separated report JSON files: skip analysis, merge them and render the requested tables")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	all := !*table2 && !*fig2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*manual && !*cert
+
+	if *mergeIn != "" {
+		if err := renderMerged(*mergeIn, all, *fig7, *fig8, *fig9, *fig10, *manual, *cert); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	shardI, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if all || *table2 {
 		fmt.Println(exp.Table2())
 	}
+
+	// Resolve the baseline store directory exactly once, up front: the
+	// flag, else the environment. Every consumer below (runner options and
+	// the footer's store handle) sees this one value.
+	dir := *cacheDir
+	if dir == "" {
+		dir = os.Getenv("FENCEPLACE_CACHE_DIR")
+	}
+	opts := []fenceplace.Option{fenceplace.WithMaxStates(*budget), fenceplace.WithCacheDir(dir)}
+
+	var out *corpus.Report
+	var certRan bool
 	if all || *cert {
 		// Exhaustive certification runs the sync kernels at a reduced
 		// instantiation (2 threads) so the whole state space fits. Rows are
 		// analyzed in parallel; per row, one SC exploration serves as the
 		// baseline all four variants certify against — served from the
 		// persistent store without exploring when -cache-dir is warm.
-		set := exp.CertSet()
-		rows := make([]*exp.Row, len(set))
-		w := *jobs
-		if w < 1 {
-			w = runtime.GOMAXPROCS(0)
+		rep, err := runCert(ctx, shardI, shardN, *jobs, opts, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		par.ForEach(len(set), w, func(i int) {
-			pp := set[i].Defaults
-			pp.Threads = 2
-			if pp.Size > 2 {
-				pp.Size = 2
-			}
-			rows[i] = exp.Analyze(set[i], pp)
-		})
-		fmt.Println(exp.CertTable(rows, fenceplace.CertOptions{
-			MaxStates: *budget,
-			CacheDir:  *cacheDir,
-		}))
+		out = rep
+		certRan = true
 	}
 	if all || *fig2 {
 		fmt.Println(exp.Fig2())
 	}
-	needRows := all || *fig7 || *fig8 || *fig9 || *fig10 || *manual
-	if !needRows {
-		return
+	if all || *fig7 || *fig8 || *fig9 || *fig10 || *manual {
+		src := corpus.EvalSource()
+		if shardN > 0 {
+			if src, err = corpus.Shard(src, shardI, shardN); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		runner := corpus.Runner{Seeds: *seeds, Workers: *jobs, Options: opts}
+		rep, err := runner.Run(ctx, src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = rep
+		renderFigures(rep, all, *fig7, *fig8, *fig9, *fig10, *manual)
+		if certRan && *jsonOut != "" {
+			// The cert and eval reports come from different sources and
+			// cannot merge into one file; the eval report wins, loudly.
+			fmt.Fprintln(os.Stderr, "-json: writing the evaluation report; the certification report is separate — rerun with -cert alone to export it")
+		}
 	}
-	rows := exp.AnalyzeAllN(progs.Params{}, *jobs)
-	for _, r := range rows {
-		if err := r.VerifyPlans(); err != nil {
-			fmt.Fprintf(os.Stderr, "fence plan verification failed: %v\n", err)
+
+	if *jsonOut != "" && out != nil {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = out.EncodeJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if all || *fig7 {
-		fmt.Println(exp.Fig7(rows))
+}
+
+// parseShard parses "i/n" (empty: unsharded, n = 0).
+func parseShard(s string) (i, n int, err error) {
+	if s == "" {
+		return 0, 0, nil
 	}
-	if all || *fig8 {
-		fmt.Println(exp.Fig8(rows))
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil || i < 1 || n < 1 || i > n {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/n with 1 <= i <= n)", s)
 	}
-	if all || *fig9 {
-		fmt.Println(exp.Fig9(rows))
+	return i, n, nil
+}
+
+// runCert certifies the kernel corpus and prints the certification table
+// with its warm-vs-cold footer (SC explorations performed; store deltas
+// when a baseline cache is in play).
+func runCert(ctx context.Context, shardI, shardN, jobs int, opts []fenceplace.Option, dir string) (*corpus.Report, error) {
+	src := corpus.CertSource()
+	if shardN > 0 {
+		var err error
+		if src, err = corpus.Shard(src, shardI, shardN); err != nil {
+			return nil, err
+		}
 	}
-	if all || *manual {
-		fmt.Println(exp.ManualTable(rows))
+
+	scBefore := mc.SCExploreRuns()
+	var st *store.Store
+	var stBefore store.Stats
+	if dir != "" {
+		if st, _ = store.Open(dir); st != nil {
+			stBefore = st.Stats()
+		}
 	}
-	if all || *fig10 {
-		report, err := exp.Fig10(rows, *seeds)
+
+	runner := corpus.Runner{Certify: true, Workers: jobs, Options: opts}
+	rep, err := runner.Run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(corpus.CertTable(rep))
+	fmt.Fprintf(&sb, "\nSC explorations: %d\n", mc.SCExploreRuns()-scBefore)
+	if st != nil {
+		d := st.Stats().Sub(stBefore)
+		fmt.Fprintf(&sb, "baseline cache (%s): %d warm hits, %d cold misses, %d written, %d quarantined\n",
+			st.Dir(), d.Hits, d.Misses, d.Puts, d.Quarantined)
+	}
+	fmt.Println(sb.String())
+	return rep, nil
+}
+
+// renderFigures prints the selected report-backed tables.
+func renderFigures(rep *corpus.Report, all, fig7, fig8, fig9, fig10, manual bool) {
+	if all || fig7 {
+		fmt.Println(corpus.Fig7(rep))
+	}
+	if all || fig8 {
+		fmt.Println(corpus.Fig8(rep))
+	}
+	if all || fig9 {
+		fmt.Println(corpus.Fig9(rep))
+	}
+	if all || manual {
+		fmt.Println(corpus.ManualTable(rep))
+	}
+	if all || fig10 {
+		s, err := corpus.Fig10(rep)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure 10 failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(report)
+		fmt.Println(s)
 	}
+}
+
+// renderMerged loads shard reports, merges them and renders the requested
+// tables from the combined data — the cross-process half of the sharded
+// evaluation.
+func renderMerged(files string, all, fig7, fig8, fig9, fig10, manual, cert bool) error {
+	var merged *corpus.Report
+	for _, name := range strings.Split(files, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		rep, err := corpus.DecodeJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if merged == nil {
+			merged = rep
+			continue
+		}
+		if err := merged.Merge(rep); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	if merged == nil {
+		return fmt.Errorf("-merge: no report files given")
+	}
+	if cert {
+		fmt.Println(corpus.CertTable(merged))
+	}
+	renderFigures(merged, all, fig7, fig8, fig9, fig10, manual)
+	return nil
 }

@@ -1,10 +1,14 @@
 // Quickstart: build the paper's producer/consumer (Figure 1a) in the IR,
-// detect its synchronization read, place fences under each strategy, and
-// execute the instrumented program on the TSO simulator.
+// detect its synchronization read, place fences under each strategy,
+// execute the instrumented program on the TSO simulator, and certify the
+// placement SC-equivalent — all through the context-aware facade: one
+// Analyzer session, one unified option set, cancellable certification.
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"fenceplace"
 	"fenceplace/internal/ir"
@@ -44,11 +48,19 @@ func main() {
 	pb.SetMain("main")
 	prog := pb.MustBuild()
 
+	// One analyzer session serves every strategy (the shared passes run
+	// once) and the certification below (one shared SC baseline). The same
+	// option set configures both sides of the pipeline.
+	ctx := context.Background()
+	az := fenceplace.NewAnalyzer(prog, fenceplace.WithMaxStates(1<<20))
+
 	fmt.Println("=== static analysis ===")
-	for _, s := range []fenceplace.Strategy{
-		fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control,
-	} {
-		res := fenceplace.Analyze(prog, s)
+	results, err := az.AnalyzeAllCtx(ctx,
+		fenceplace.PensieveOnly, fenceplace.AddressControl, fenceplace.Control)
+	if err != nil {
+		panic(err)
+	}
+	for _, res := range results {
 		fmt.Println(res.Summary())
 		if err := res.Verify(); err != nil {
 			panic(err)
@@ -56,12 +68,24 @@ func main() {
 	}
 
 	fmt.Println("\n=== dynamic check (TSO) ===")
-	res := fenceplace.Analyze(prog, fenceplace.Control)
+	res := results[2] // Control
 	for seed := int64(0); seed < 3; seed++ {
 		out := fenceplace.RunTSO(res.Instrumented, seed)
 		fmt.Printf("seed %d: failed=%v cycles=%d fences executed=%d\n",
 			seed, out.Failed(), out.MaxCycles, out.FullFences)
 	}
+
+	// Certification is cancellable: a deadline (or Ctrl-C wired through
+	// signal.NotifyContext) abandons the exploration promptly instead of
+	// running a 2M-state search to completion.
+	fmt.Println("\n=== certification (model checker) ===")
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	rep, err := fenceplace.CertifyCtx(cctx, res, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep)
 
 	fmt.Println("\n=== instrumented IR (Control) ===")
 	fmt.Println(fenceplace.Format(res.Instrumented))

@@ -19,6 +19,7 @@
 package fenceplace
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -113,6 +114,12 @@ type Result struct {
 	// memoized SC baseline so N variants of one program cost one SC
 	// exploration. Nil only for hand-built Results.
 	sess *passes.Session
+
+	// cfg carries the producing analyzer's resolved options (cfgOK true),
+	// so option-less CertifyCtx calls inherit them — one option list
+	// configures the whole pipeline. Hand-built Results have neither.
+	cfg   config
+	cfgOK bool
 }
 
 // PassTiming is one pipeline pass and its own wall time (excluding the
@@ -128,35 +135,18 @@ type PassTiming struct {
 // pruning and minimization is memoized. Methods are safe for concurrent
 // use; AnalyzeAll evaluates strategies in parallel.
 type Analyzer struct {
-	sess    *passes.Session
-	timing  bool
-	workers int
-}
-
-// AnalyzerOption configures an Analyzer.
-type AnalyzerOption func(*Analyzer)
-
-// WithWorkers bounds the analyzer's per-function fan-out; n < 1 means
-// GOMAXPROCS.
-func WithWorkers(n int) AnalyzerOption {
-	return func(a *Analyzer) { a.workers = n }
-}
-
-// WithTiming makes every produced Result carry per-pass wall times, which
-// Summary then reports.
-func WithTiming() AnalyzerOption {
-	return func(a *Analyzer) { a.timing = true }
+	sess *passes.Session
+	cfg  config
 }
 
 // NewAnalyzer finalizes the program and prepares a shared analysis
 // session. Passes run lazily on first demand and are computed once across
-// all strategies.
-func NewAnalyzer(p *Program, opts ...AnalyzerOption) *Analyzer {
-	a := &Analyzer{}
-	for _, o := range opts {
-		o(a)
-	}
-	a.sess = passes.NewSession(p, passes.Workers(a.workers))
+// all strategies. The analyzer's resolved options also serve as the
+// defaults for its certification-side methods (Baseline), so one option
+// list can configure the whole pipeline.
+func NewAnalyzer(p *Program, opts ...Option) *Analyzer {
+	a := &Analyzer{cfg: resolve(opts)}
+	a.sess = passes.NewSession(p, passes.Workers(a.cfg.workers))
 	return a
 }
 
@@ -175,9 +165,25 @@ func strategyOf(s Strategy) passes.Strategy {
 // minimization and instrumentation specific to the strategy run anew;
 // everything else is served from the session cache.
 func (a *Analyzer) Analyze(s Strategy) *Result {
+	res, _ := a.AnalyzeCtx(context.Background(), s) // cannot fail: the ctx never fires
+	return res
+}
+
+// AnalyzeCtx is Analyze bounded by a context: the context is observed
+// between pipeline passes, so a cancelled analysis stops triggering
+// further pass work and returns ctx's error. Passes that completed before
+// the cancellation stay memoized in the session — they are valid artifacts
+// and a retry resumes past them.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, s Strategy) (*Result, error) {
 	sess := a.sess
 	st := strategyOf(s)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	kept := sess.Kept(st)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plan := sess.Plan(st)
 
 	res := &Result{
@@ -196,13 +202,17 @@ func (a *Analyzer) Analyze(s Strategy) *Result {
 	}
 	res.FullFences = plan.FullFences()
 	res.CompilerBarriers = plan.CompilerBarriers()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Instrumented, res.imap = sess.Applied(st)
 	res.applied = plan
 	res.sess = sess
-	if a.timing {
+	res.cfg, res.cfgOK = a.cfg, true
+	if a.cfg.timing {
 		res.Timings = a.passTimings(s, st)
 	}
-	return res
+	return res, nil
 }
 
 // passTimings extracts, in pipeline order, the timings of exactly the
@@ -236,26 +246,42 @@ func (a *Analyzer) passTimings(s Strategy, st passes.Strategy) []PassTiming {
 // analyzer bounded to one worker (WithWorkers(1)) evaluates the
 // strategies inline instead, so it really is single-threaded.
 func (a *Analyzer) AnalyzeAll(strategies ...Strategy) []*Result {
+	out, _ := a.AnalyzeAllCtx(context.Background(), strategies...) // cannot fail: the ctx never fires
+	return out
+}
+
+// AnalyzeAllCtx is AnalyzeAll bounded by a context: a cancellation stops
+// triggering further pass work in every strategy's evaluation and the call
+// returns ctx's error with no results.
+func (a *Analyzer) AnalyzeAllCtx(ctx context.Context, strategies ...Strategy) ([]*Result, error) {
 	if len(strategies) == 0 {
 		strategies = []Strategy{PensieveOnly, Control, AddressControl}
 	}
 	out := make([]*Result, len(strategies))
-	if a.workers == 1 {
+	errs := make([]error, len(strategies))
+	if a.cfg.workers == 1 {
 		for i, s := range strategies {
-			out[i] = a.Analyze(s)
+			if out[i], errs[i] = a.AnalyzeCtx(ctx, s); errs[i] != nil {
+				return nil, errs[i]
+			}
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(strategies))
 	for i, s := range strategies {
 		go func(i int, s Strategy) {
 			defer wg.Done()
-			out[i] = a.Analyze(s)
+			out[i], errs[i] = a.AnalyzeCtx(ctx, s)
 		}(i, s)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Analyze runs the complete static pipeline under the given strategy. It
@@ -264,6 +290,13 @@ func (a *Analyzer) AnalyzeAll(strategies ...Strategy) []*Result {
 // run once.
 func Analyze(p *Program, s Strategy) *Result {
 	return NewAnalyzer(p).Analyze(s)
+}
+
+// AnalyzeCtx is the one-shot Analyze with a context and options: it builds
+// a fresh Analyzer, so callers evaluating several strategies on one
+// program should hold an Analyzer instead.
+func AnalyzeCtx(ctx context.Context, p *Program, s Strategy, opts ...Option) (*Result, error) {
+	return NewAnalyzer(p, opts...).AnalyzeCtx(ctx, s)
 }
 
 // CoverageError is the structured verification failure Verify returns: the
@@ -343,6 +376,12 @@ type CertReport = mc.Report
 // checker's defaults (GOMAXPROCS workers, 2M-state budget, partial-order
 // reduction on, fingerprint seen-sets) and no baseline persistence beyond
 // $FENCEPLACE_CACHE_DIR.
+//
+// Deprecated: CertOptions predates the unified Option set; use the
+// functional options (WithMaxStates, WithWorkers, WithCacheDir, …) with
+// CertifyCtx/BaselineCtx instead. It remains as an adapter — Options
+// converts — and every entry point taking it is a thin wrapper over the
+// Option-based path.
 type CertOptions struct {
 	MaxStates int64 // state budget per exploration; exceeded => error
 	Workers   int   // parallel exploration workers
@@ -364,12 +403,38 @@ type CertOptions struct {
 
 // EffectiveCacheDir resolves the baseline store directory the options
 // select: the explicit CacheDir, else $FENCEPLACE_CACHE_DIR, else "" (no
-// persistence).
+// persistence). Note that it re-reads the environment on every call;
+// Options resolves the directory exactly once, which is why multi-program
+// drivers must convert once up front rather than calling this per
+// certification.
+//
+// Deprecated: resolve once via Options and WithCacheDir.
 func (o CertOptions) EffectiveCacheDir() string {
 	if o.CacheDir != "" {
 		return o.CacheDir
 	}
 	return os.Getenv("FENCEPLACE_CACHE_DIR")
+}
+
+// Options converts the deprecated struct into the unified functional-
+// option form. The cache directory is resolved (environment included)
+// exactly once, here, so the resulting options pin one store directory no
+// matter how often or late they are applied.
+func (o CertOptions) Options() []Option {
+	opts := []Option{
+		WithMaxStates(o.MaxStates),
+		WithWorkers(o.Workers),
+		WithBufferCap(o.BufferCap),
+		WithMemoryCap(o.MemoryCap),
+		WithCacheDir(o.EffectiveCacheDir()),
+	}
+	if o.ExactSeen {
+		opts = append(opts, WithExactSeen())
+	}
+	if o.NoPOR {
+		opts = append(opts, WithNoPOR())
+	}
+	return opts
 }
 
 // MCConfig maps the certification options onto a model-checker
@@ -415,38 +480,96 @@ func CertifyThreads(res *Result, threads []string) (*CertReport, error) {
 	return CertifyOpt(res, threads, CertOptions{})
 }
 
-// CertifyOpt is CertifyThreads with explicit exploration options. Results
-// produced by an Analyzer certify against the SC baseline memoized in the
-// producing session, so certifying all strategies of one program performs
-// at most one SC exploration; hand-built Results build (or load) a
-// baseline per call. With a cache directory in play (CacheDir or
-// $FENCEPLACE_CACHE_DIR) both paths consult the persistent baseline store
-// first and write fresh explorations back, so a warm store eliminates the
-// SC side across processes.
+// CertifyOpt is CertifyThreads with explicit exploration options.
+//
+// Deprecated: use CertifyCtx with the unified Option set; this wrapper
+// converts opt via CertOptions.Options and runs with a background context.
 func CertifyOpt(res *Result, threads []string, opt CertOptions) (*CertReport, error) {
-	cfg := opt.MCConfig()
-	dir := opt.EffectiveCacheDir()
+	return CertifyCtx(context.Background(), res, threads, opt.Options()...)
+}
+
+// CertifyCtx model-checks an analysis result under an explicit context and
+// option set. With no options given, a Result produced by an Analyzer
+// inherits the analyzer's construction-time options — one option list
+// configures analysis and certification alike; passing any option
+// replaces the configuration wholesale. Results produced by an Analyzer
+// certify against the SC baseline memoized in the producing session, so
+// certifying all strategies of one program performs at most one SC
+// exploration; hand-built Results build (or load) a baseline per call.
+// With a cache directory in play (WithCacheDir or $FENCEPLACE_CACHE_DIR)
+// both paths consult the persistent baseline store first and write fresh
+// explorations back, so a warm store eliminates the SC side across
+// processes.
+//
+// Cancelling ctx abandons whichever exploration is in flight promptly and
+// returns ctx's error: exploration workers drain their frontiers instead
+// of finishing, no baseline is written back to the store, and the
+// session's in-memory memo drops the cancelled attempt so a later call
+// with a live context retries.
+func CertifyCtx(ctx context.Context, res *Result, threads []string, opts ...Option) (*CertReport, error) {
+	var c config
+	if len(opts) == 0 && res.cfgOK {
+		c = res.cfg
+	} else {
+		c = resolve(opts)
+	}
+	cfg := c.mcConfig()
 	if res.sess != nil {
-		base, err := res.sess.CertBaselineAt(threads, cfg, dir)
+		base, err := res.sess.CertBaselineAtCtx(ctx, threads, cfg, c.cacheDir)
 		if err != nil {
 			return nil, err
 		}
-		return mc.CertifyAgainst(base, res.Instrumented, cfg)
+		return mc.CertifyAgainstCtx(ctx, base, res.Instrumented, cfg)
 	}
-	base, _, err := passes.LoadOrExploreBaseline(res.Prog, threads, cfg, dir)
+	base, _, err := passes.LoadOrExploreBaselineCtx(ctx, res.Prog, threads, cfg, c.cacheDir)
 	if err != nil {
 		return nil, err
 	}
-	return mc.CertifyAgainst(base, res.Instrumented, cfg)
+	return mc.CertifyAgainstCtx(ctx, base, res.Instrumented, cfg)
 }
 
 // Baseline returns the analyzer's memoized SC exploration for the given
 // entry configuration (nil threads explores from main), computing it on
 // first use — or loading it from the persistent baseline store when
-// opt.CacheDir (or $FENCEPLACE_CACHE_DIR) names one. Callers fanning
+// opt.CacheDir (or $FENCEPLACE_CACHE_DIR) names one.
+//
+// Deprecated: use BaselineCtx with the unified Option set.
+func (a *Analyzer) Baseline(threads []string, opt CertOptions) (*CertBaseline, error) {
+	return a.BaselineCtx(context.Background(), threads, opt.Options()...)
+}
+
+// BaselineCtx returns the analyzer's memoized SC exploration for the given
+// entry configuration (nil threads explores from main), computing it on
+// first use — or loading it from the persistent baseline store when the
+// options (or $FENCEPLACE_CACHE_DIR) name one. With no options given, the
+// analyzer's own construction-time options apply, so one option list can
+// configure analysis and certification alike. Callers fanning
 // certification out over variants — or over expert builds of the same
 // program that no Result carries — pair it with mc.CertifyAgainst via
-// CertifyOpt's session reuse or internal tooling.
-func (a *Analyzer) Baseline(threads []string, opt CertOptions) (*CertBaseline, error) {
-	return a.sess.CertBaselineAt(threads, opt.MCConfig(), opt.EffectiveCacheDir())
+// CertifyCtx's session reuse or internal tooling.
+func (a *Analyzer) BaselineCtx(ctx context.Context, threads []string, opts ...Option) (*CertBaseline, error) {
+	c := a.cfg
+	if len(opts) > 0 {
+		c = resolve(opts)
+	}
+	return a.sess.CertBaselineAtCtx(ctx, threads, c.mcConfig(), c.cacheDir)
+}
+
+// CertifyProgramCtx certifies an arbitrary instrumented build of the
+// analyzer's program — typically an expert manual placement that no
+// Result carries — against the session's shared SC baseline: one TSO
+// exploration, with the SC side served from the memo (or the persistent
+// store) like every other certification of this analyzer. With no options
+// given, the analyzer's construction-time options apply.
+func (a *Analyzer) CertifyProgramCtx(ctx context.Context, inst *Program, threads []string, opts ...Option) (*CertReport, error) {
+	c := a.cfg
+	if len(opts) > 0 {
+		c = resolve(opts)
+	}
+	cfg := c.mcConfig()
+	base, err := a.sess.CertBaselineAtCtx(ctx, threads, cfg, c.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return mc.CertifyAgainstCtx(ctx, base, inst, cfg)
 }

@@ -1,15 +1,16 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"fenceplace"
+	"fenceplace/corpus"
 	"fenceplace/internal/mc"
 	"fenceplace/internal/par"
 	"fenceplace/internal/progs"
-	"fenceplace/internal/stats"
 	"fenceplace/internal/store"
 )
 
@@ -70,7 +71,14 @@ func (c CertCell) String() string {
 // baseline additionally round-trips through the persistent store, so a
 // warm store serves the SC side without exploring at all.
 func (r *Row) Certify(v Variant, opt fenceplace.CertOptions) CertCell {
-	rep, err := r.certify(v, opt)
+	return r.CertifyCtx(context.Background(), v, opt.Options()...)
+}
+
+// CertifyCtx is Certify under the unified option set and an explicit
+// context; a cancelled certification surfaces as a CertError cell carrying
+// ctx's error.
+func (r *Row) CertifyCtx(ctx context.Context, v Variant, opts ...fenceplace.Option) CertCell {
+	rep, err := r.certifyCtx(ctx, v, opts)
 	switch {
 	case errors.Is(err, mc.ErrTruncated):
 		return CertCell{Status: CertBudget, Err: err}
@@ -83,20 +91,43 @@ func (r *Row) Certify(v Variant, opt fenceplace.CertOptions) CertCell {
 	}
 }
 
-// certify runs the variant's TSO exploration against the shared SC
+// certifyCtx runs the variant's TSO exploration against the shared SC
 // baseline when the row carries an analyzer, or hands a synthetic Result
 // to the facade when it does not — one code path owns the baseline
 // loading and option mapping either way.
-func (r *Row) certify(v Variant, opt fenceplace.CertOptions) (*mc.Report, error) {
+func (r *Row) certifyCtx(ctx context.Context, v Variant, opts []fenceplace.Option) (*mc.Report, error) {
 	if r.az == nil {
 		res := &fenceplace.Result{Prog: r.Prog, Instrumented: r.Inst[v]}
-		return fenceplace.CertifyOpt(res, nil, opt)
+		return fenceplace.CertifyCtx(ctx, res, nil, opts...)
 	}
-	base, err := r.az.Baseline(nil, opt)
-	if err != nil {
-		return nil, err
+	return r.az.CertifyProgramCtx(ctx, r.Inst[v], nil, opts...)
+}
+
+// Cert converts a certification cell into its plain-data report form.
+func (c CertCell) Cert() *corpus.Cert {
+	out := &corpus.Cert{}
+	switch c.Status {
+	case CertOK:
+		out.Status = corpus.CertCertified
+	case CertViolation:
+		out.Status = corpus.CertViolation
+	case CertBudget:
+		out.Status = corpus.CertBudget
+	default:
+		out.Status = corpus.CertError
 	}
-	return mc.CertifyAgainst(base, r.Inst[v], opt.MCConfig())
+	if c.Err != nil {
+		out.Err = c.Err.Error()
+	}
+	if c.Report != nil {
+		out.SCOutcomes = c.Report.SCOutcomes
+		out.TSOOutcomes = c.Report.TSOOutcomes
+		out.VisitedSC = c.Report.VisitedSC
+		out.VisitedTSO = c.Report.VisitedTSO
+		out.Violations = len(c.Report.Violations)
+		out.Counterexample = c.Report.Counterexample()
+	}
+	return out
 }
 
 // CertTable renders the certification column of the evaluation: for each
@@ -105,7 +136,8 @@ func (r *Row) certify(v Variant, opt fenceplace.CertOptions) (*mc.Report, error)
 // analyze the corpus at reduced parameters (cmd/paperbench uses Threads=2)
 // and bound the exploration with opt.MaxStates. Per row, the SC state
 // space is explored once (the session baseline) and the four variant TSO
-// explorations fan out over it concurrently.
+// explorations fan out over it concurrently. The table itself is a corpus
+// view over the certified rows' plain data.
 //
 // The table's footer reports how warm the run was: the number of SC
 // explorations actually performed, and — when a baseline store is in play
@@ -113,7 +145,11 @@ func (r *Row) certify(v Variant, opt fenceplace.CertOptions) (*mc.Report, error)
 // read "SC explorations: 0", which CI asserts on its second run.
 func CertTable(rows []*Row, opt fenceplace.CertOptions) string {
 	scBefore := mc.SCExploreRuns()
+	// Resolve the option set — the cache directory in particular — exactly
+	// once for the whole table: every certification below sees the same
+	// store even if the environment changes mid-run.
 	dir := opt.EffectiveCacheDir()
+	opts := fenceplace.Resolved(append(opt.Options(), fenceplace.WithCacheDir(dir))...)
 	var st *store.Store
 	var stBefore store.Stats
 	if dir != "" {
@@ -122,24 +158,29 @@ func CertTable(rows []*Row, opt fenceplace.CertOptions) string {
 		}
 	}
 
-	t := stats.NewTable("program", "Manual", "Pensieve", "Address+Control", "Control")
-	for _, r := range rows {
+	rep := &corpus.Report{Version: corpus.Version, Source: "cert"}
+	for idx, r := range rows {
 		// The concurrent Certify calls collapse onto one SC exploration:
 		// the session baseline is a per-key sync.Once, so the first caller
 		// builds (or loads) it and the rest block on it.
-		cells := make([]string, len(Variants))
+		certs := make([]*corpus.Cert, len(Variants))
 		par.ForEach(len(Variants), len(Variants), func(i int) {
-			cells[i] = r.Certify(Variants[i], opt).String()
+			certs[i] = r.CertifyCtx(context.Background(), Variants[i], opts...).Cert()
 		})
-		t.Add(append([]string{r.Meta.Name}, cells...)...)
+		row := corpus.Row{Index: idx, Program: r.Meta.Name, EscReads: r.EscReads}
+		for i, v := range Variants {
+			row.Variants = append(row.Variants, corpus.Variant{
+				Name:       v.String(),
+				Analyzed:   v != Manual,
+				FullFences: r.Fences(v),
+				Cert:       certs[i],
+			})
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 
 	var sb strings.Builder
-	sb.WriteString("Certification: exhaustive SC-equivalence of the placed fences\n" +
-		"(model checker: TSO final states of the instrumented build vs SC final states\n" +
-		"of the legacy build; a VIOLATION on a pruned variant means the program is\n" +
-		"not DRF or the fences are insufficient)\n")
-	sb.WriteString(t.String())
+	sb.WriteString(corpus.CertTable(rep))
 	fmt.Fprintf(&sb, "\nSC explorations: %d\n", mc.SCExploreRuns()-scBefore)
 	if st != nil {
 		d := st.Stats().Sub(stBefore)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"fenceplace/corpus"
 	"fenceplace/internal/delayset"
-	"fenceplace/internal/orders"
 	"fenceplace/internal/passes"
 	"fenceplace/internal/progs"
 	"fenceplace/internal/stats"
@@ -16,6 +16,55 @@ func mark(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// Report converts live analysis rows into the plain-data corpus report
+// the table renderers consume — the figures below are views over it, not
+// over the live objects. seeds > 0 additionally runs the dynamic
+// experiment (Figure 10's input), seeds per variant; a failing TSO run is
+// an error.
+func Report(rows []*Row, seeds int) (*corpus.Report, error) {
+	rep := &corpus.Report{Version: corpus.Version, Source: "eval"}
+	for i, r := range rows {
+		row := corpus.Row{Index: i, Program: r.Meta.Name, EscReads: r.EscReads}
+		for _, v := range Variants {
+			cv, err := r.corpusVariant(v, seeds)
+			if err != nil {
+				return nil, err
+			}
+			row.Variants = append(row.Variants, *cv)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// corpusVariant renders one variant of a live row as plain data; the
+// result-to-variant field mapping is corpus.VariantFromResult's, shared
+// with the corpus runner so the two drivers cannot drift.
+func (r *Row) corpusVariant(v Variant, seeds int) (*corpus.Variant, error) {
+	cv := &corpus.Variant{Name: v.String(), FullFences: r.Fences(v)}
+	if res, ok := r.Res[v]; ok {
+		*cv = corpus.VariantFromResult(res)
+	}
+	for s := 0; s < seeds; s++ {
+		d := r.RunDynamic(v, int64(s))
+		if d.Failed {
+			return nil, fmt.Errorf("%s/%s failed under TSO: %s", r.Meta.Name, v, d.Detail)
+		}
+		cv.Cycles = append(cv.Cycles, d.Cycles)
+	}
+	return cv, nil
+}
+
+// mustReport is Report for the seedless figures, whose conversion cannot
+// fail (no dynamic runs are involved).
+func mustReport(rows []*Row) *corpus.Report {
+	rep, err := Report(rows, 0)
+	if err != nil {
+		panic(err) // unreachable: seeds == 0 runs nothing that can fail
+	}
+	return rep
 }
 
 // Table2 regenerates the paper's Table II: the signature breakdown of the
@@ -42,110 +91,26 @@ func Table2() string {
 }
 
 // Fig7 regenerates Figure 7: the percentage of potentially-escaping reads
-// each detector marks as an acquire.
-func Fig7(rows []*Row) string {
-	t := stats.NewTable("program", "escaping reads", "Control", "Address+Control")
-	var ctl, ac []float64
-	for _, r := range rows {
-		rc := stats.Ratio(r.Acquires(Control), r.EscReads)
-		ra := stats.Ratio(r.Acquires(AddressControl), r.EscReads)
-		ctl = append(ctl, rc)
-		ac = append(ac, ra)
-		t.Add(r.Meta.Name, fmt.Sprint(r.EscReads), stats.Pct(rc), stats.Pct(ra))
-	}
-	t.AddSep()
-	t.Add("geomean", "", stats.Pct(stats.Geomean(ctl)), stats.Pct(stats.Geomean(ac)))
-	return "Figure 7: percentage of escaping reads marked as acquires\n" +
-		"(paper: Control ≈ 18% geomean, best 7%, worst 33%; A+C ≈ 60%, best 39%)\n" + t.String()
-}
+// each detector marks as an acquire. Like every figure below, the table is
+// rendered by package corpus from plain report data.
+func Fig7(rows []*Row) string { return corpus.Fig7(mustReport(rows)) }
 
 // Fig8 regenerates Figure 8: orderings by type for Pensieve and both pruned
 // variants, as a percentage of Pensieve's total.
-func Fig8(rows []*Row) string {
-	t := stats.NewTable("program", "variant", "r->r", "r->w", "w->r", "w->w", "total", "% of Pensieve")
-	var acPct, ctlPct []float64
-	for _, r := range rows {
-		base := r.Orderings(Pensieve).Total()
-		for _, v := range []Variant{Pensieve, AddressControl, Control} {
-			s := r.Orderings(v)
-			ratio := stats.Ratio(s.Total(), base)
-			switch v {
-			case AddressControl:
-				acPct = append(acPct, ratio)
-			case Control:
-				ctlPct = append(ctlPct, ratio)
-			}
-			t.Add(r.Meta.Name, v.String(),
-				fmt.Sprint(s.Count(orders.RR)), fmt.Sprint(s.Count(orders.RW)),
-				fmt.Sprint(s.Count(orders.WR)), fmt.Sprint(s.Count(orders.WW)),
-				fmt.Sprint(s.Total()), stats.Pct(ratio))
-		}
-		t.AddSep()
-	}
-	t.Add("geomean", "Address+Control", "", "", "", "", "", stats.Pct(stats.Geomean(acPct)))
-	t.Add("geomean", "Control", "", "", "", "", "", stats.Pct(stats.Geomean(ctlPct)))
-	return "Figure 8: orderings by type, as generated (Pensieve) and after pruning\n" +
-		"(paper: ≈ 34% of orderings survive under Control, ≈ 68% under A+C; r->r dominates)\n" + t.String()
-}
+func Fig8(rows []*Row) string { return corpus.Fig8(mustReport(rows)) }
 
 // Fig9 regenerates Figure 9: full fences remaining on x86-TSO relative to
 // Pensieve's placement.
-func Fig9(rows []*Row) string {
-	t := stats.NewTable("program", "Pensieve", "Address+Control", "Control", "A+C %", "Control %", "Manual")
-	var acPct, ctlPct []float64
-	for _, r := range rows {
-		base := r.Fences(Pensieve)
-		ra := stats.Ratio(r.Fences(AddressControl), base)
-		rc := stats.Ratio(r.Fences(Control), base)
-		acPct = append(acPct, ra)
-		ctlPct = append(ctlPct, rc)
-		t.Add(r.Meta.Name, fmt.Sprint(base), fmt.Sprint(r.Fences(AddressControl)),
-			fmt.Sprint(r.Fences(Control)), stats.Pct(ra), stats.Pct(rc),
-			fmt.Sprint(r.Fences(Manual)))
-	}
-	t.AddSep()
-	t.Add("geomean", "", "", "", stats.Pct(stats.Geomean(acPct)), stats.Pct(stats.Geomean(ctlPct)), "")
-	return "Figure 9: static full fences on x86-TSO (percentages relative to Pensieve)\n" +
-		"(paper: ≈ 38% of Pensieve's fences remain under Control — 62% fewer; ≈ 73% under A+C)\n" + t.String()
-}
+func Fig9(rows []*Row) string { return corpus.Fig9(mustReport(rows)) }
 
 // Fig10 regenerates Figure 10: simulated execution time normalized to the
 // manual placement. seeds > 1 averages several simulator runs.
 func Fig10(rows []*Row, seeds int) (string, error) {
-	t := stats.NewTable("program", "Manual", "Pensieve", "Address+Control", "Control")
-	norm := map[Variant][]float64{}
-	for _, r := range rows {
-		cycles := map[Variant]float64{}
-		for _, v := range Variants {
-			var sum float64
-			for s := 0; s < seeds; s++ {
-				d := r.RunDynamic(v, int64(s))
-				if d.Failed {
-					return "", fmt.Errorf("%s/%s failed under TSO: %s", r.Meta.Name, v, d.Detail)
-				}
-				sum += float64(d.Cycles)
-			}
-			cycles[v] = sum / float64(seeds)
-		}
-		base := cycles[Manual]
-		row := []string{r.Meta.Name}
-		for _, v := range Variants {
-			n := cycles[v] / base
-			if v != Manual {
-				norm[v] = append(norm[v], n)
-			}
-			row = append(row, fmt.Sprintf("%.2fx", n))
-		}
-		t.Add(row...)
+	rep, err := Report(rows, seeds)
+	if err != nil {
+		return "", err
 	}
-	t.AddSep()
-	t.Add("geomean", "1.00x",
-		fmt.Sprintf("%.2fx", stats.Geomean(norm[Pensieve])),
-		fmt.Sprintf("%.2fx", stats.Geomean(norm[AddressControl])),
-		fmt.Sprintf("%.2fx", stats.Geomean(norm[Control])))
-	head := "Figure 10: simulated execution time on TSO, normalized to manual fences\n" +
-		"(paper: Pensieve ≈ 1.94x, A+C ≈ 1.69x, Control ≈ 1.44x; Control ≈ 30% faster than Pensieve)\n"
-	return head + t.String(), nil
+	return corpus.Fig10(rep)
 }
 
 // Fig2 regenerates the §2.4 worked example via exact delay-set analysis.
@@ -181,19 +146,4 @@ func Fig2() string {
 
 // ManualTable reports the expert fence counts per program alongside the
 // paper's §5.3 numbers.
-func ManualTable(rows []*Row) string {
-	paper := map[string]string{
-		"canneal": "10", "fmm": "6", "volrend": "2", "matrix": "6", "spanningtree": "5",
-	}
-	t := stats.NewTable("program", "manual full fences (ours)", "paper §5.3")
-	for _, r := range rows {
-		pp, ok := paper[r.Meta.Name]
-		if !ok {
-			pp = "-"
-		}
-		t.Add(r.Meta.Name, fmt.Sprint(r.Fences(Manual)), pp)
-	}
-	return "Manual (expert) fence placement\n" +
-		"(differences are expected: our corpus synchronizes through locked RMWs\n" +
-		"wherever the original used library atomics — see EXPERIMENTS.md)\n" + t.String()
-}
+func ManualTable(rows []*Row) string { return corpus.ManualTable(mustReport(rows)) }

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,8 +40,8 @@ type Report struct {
 	Equivalent  bool // TSO(instrumented) reaches exactly the SC final states
 	SCOutcomes  int
 	TSOOutcomes int
-	VisitedSC   int64 // states visited exploring the original under SC
-	VisitedTSO  int64 // states visited exploring the instrumented under TSO
+	VisitedSC   int64       // states visited exploring the original under SC
+	VisitedTSO  int64       // states visited exploring the instrumented under TSO
 	Missing     []string    // SC-only outcomes (engine invariant: always empty)
 	Violations  []Violation // TSO-only outcomes
 }
@@ -100,9 +101,15 @@ type Baseline struct {
 // and packages the result for reuse. A truncated exploration is an error
 // wrapping ErrTruncated: an incomplete baseline could certify nothing.
 func NewBaseline(orig *ir.Program, threadFns []string, cfg Config) (*Baseline, error) {
+	return NewBaselineCtx(context.Background(), orig, threadFns, cfg)
+}
+
+// NewBaselineCtx is NewBaseline bounded by a context; a cancelled SC
+// exploration returns ctx's error instead of a baseline.
+func NewBaselineCtx(ctx context.Context, orig *ir.Program, threadFns []string, cfg Config) (*Baseline, error) {
 	scCfg := cfg.withDefaults()
 	scCfg.Mode = tso.SC
-	sc, err := Explore(orig, threadFns, scCfg)
+	sc, err := ExploreCtx(ctx, orig, threadFns, scCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -125,11 +132,18 @@ func NewBaseline(orig *ir.Program, threadFns []string, cfg Config) (*Baseline, e
 // should build the SC side once with NewBaseline and fan the variants out
 // over CertifyAgainst.
 func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, error) {
-	base, err := NewBaseline(orig, threadFns, cfg)
+	return CertifyCtx(context.Background(), orig, inst, threadFns, cfg)
+}
+
+// CertifyCtx is Certify bounded by a context: cancellation abandons
+// whichever exploration (SC baseline or TSO variant) is in flight and
+// returns ctx's error.
+func CertifyCtx(ctx context.Context, orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, error) {
+	base, err := NewBaselineCtx(ctx, orig, threadFns, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return CertifyAgainst(base, inst, cfg)
+	return CertifyAgainstCtx(ctx, base, inst, cfg)
 }
 
 // CertifyAgainst certifies one instrumented variant against a prebuilt SC
@@ -138,10 +152,17 @@ func Certify(orig, inst *ir.Program, threadFns []string, cfg Config) (*Report, e
 // TSO exploration (and witness reconstruction); the entry configuration is
 // the baseline's.
 func CertifyAgainst(base *Baseline, inst *ir.Program, cfg Config) (*Report, error) {
+	return CertifyAgainstCtx(context.Background(), base, inst, cfg)
+}
+
+// CertifyAgainstCtx is CertifyAgainst bounded by a context; the TSO
+// exploration and any counterexample reconstruction abandon promptly when
+// ctx is cancelled.
+func CertifyAgainstCtx(ctx context.Context, base *Baseline, inst *ir.Program, cfg Config) (*Report, error) {
 	sc := base.SC
 	tsoCfg := cfg.withDefaults()
 	tsoCfg.Mode = tso.TSO
-	ts, err := Explore(inst, base.ThreadFns, tsoCfg)
+	ts, err := ExploreCtx(ctx, inst, base.ThreadFns, tsoCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +194,7 @@ func CertifyAgainst(base *Baseline, inst *ir.Program, cfg Config) (*Report, erro
 		return r, nil
 	}
 
-	schedules := witness(inst, base.ThreadFns, tsoCfg, targets)
+	schedules := witness(ctx, inst, base.ThreadFns, tsoCfg, targets)
 	keys := make([]string, 0, len(targets))
 	for k := range targets {
 		keys = append(keys, k)
@@ -200,9 +221,10 @@ type wframe struct {
 
 // witness reconstructs, by sequential depth-first search over the full
 // (unreduced) transition graph, one schedule per target outcome key. The
-// search stops when every target has a schedule or the state budget runs
-// out; missing entries stay nil.
-func witness(p *ir.Program, threadFns []string, cfg Config, targets map[string]bool) map[string][]Step {
+// search stops when every target has a schedule, the state budget runs
+// out, or ctx is cancelled (polled every 1024 states to keep the loop
+// cheap); missing entries stay nil.
+func witness(ctx context.Context, p *ir.Program, threadFns []string, cfg Config, targets map[string]bool) map[string][]Step {
 	e, init, err := newEngine(p, threadFns, cfg)
 	if err != nil {
 		return nil
@@ -234,6 +256,9 @@ func witness(p *ir.Program, threadFns []string, cfg Config, targets map[string]b
 		if top.i == 0 {
 			visited++
 			if visited > e.cfg.MaxStates {
+				return out
+			}
+			if visited&1023 == 0 && ctx.Err() != nil {
 				return out
 			}
 			key := ""

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -211,6 +212,15 @@ func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, 
 // be checked. A Truncated result means the state budget ran out; callers
 // must treat it as inconclusive, never as a verdict.
 func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
+	return ExploreCtx(context.Background(), p, threadFns, cfg)
+}
+
+// ExploreCtx is Explore bounded by a context: when ctx is cancelled the
+// workers abandon the exploration promptly — every in-flight state stops
+// producing children, the frontier drains uncounted — and the call returns
+// ctx's error. Cancellation reuses the budget-exhaustion drain path, so no
+// per-state ctx polling taxes the hot loop.
+func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
 	exploreRuns.Add(1)
 	if cfg.Mode == tso.SC {
 		scExploreRuns.Add(1)
@@ -223,17 +233,32 @@ func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
 	e.inflight.Store(1)
 	e.handoff <- &node{s: init}
 
+	// The watcher turns a ctx firing into an engine failure: e.fail sets
+	// the drain flag every worker polls, so the frontier empties within one
+	// expansion per worker. It is joined after the workers so the final
+	// e.err read cannot race a late fail.
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			e.fail(ctx.Err())
+		case <-e.done:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx := &workerCtx{encBuf: make([]byte, 0, 256)}
-			e.worker(ctx)
-			ctx.release()
+			wctx := &workerCtx{encBuf: make([]byte, 0, 256)}
+			e.worker(wctx)
+			wctx.release()
 		}()
 	}
 	wg.Wait()
+	<-watchDone
 
 	if e.err != nil {
 		return nil, e.err

@@ -15,6 +15,8 @@
 package passes
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -385,6 +387,17 @@ func (s *Session) CertBaseline(threadFns []string, cfg mc.Config) (*mc.Baseline,
 // share one entry per configuration; the first caller's cache directory
 // decides whether the disk is involved.
 func (s *Session) CertBaselineAt(threadFns []string, cfg mc.Config, cacheDir string) (*mc.Baseline, error) {
+	return s.CertBaselineAtCtx(context.Background(), threadFns, cfg, cacheDir)
+}
+
+// CertBaselineAtCtx is CertBaselineAt bounded by a context. Genuine
+// exploration failures (truncation, bad programs) are memoized like
+// always — retrying cannot help — but a cancellation is the caller's
+// doing, not the key's: the cancelled entry is dropped from the session
+// so a later call with a live context explores afresh. Concurrent callers
+// that were blocked on the cancelled exploration observe the same ctx
+// error for that attempt.
+func (s *Session) CertBaselineAtCtx(ctx context.Context, threadFns []string, cfg mc.Config, cacheDir string) (*mc.Baseline, error) {
 	ncfg := cfg.Normalize()
 	ncfg.Mode = tso.SC // the baseline side is always the SC exploration
 	key := baselineKey{threads: strings.Join(threadFns, ","), cfg: ncfg}
@@ -402,7 +415,7 @@ func (s *Session) CertBaselineAt(threadFns []string, cfg mc.Config, cacheDir str
 
 	en.once.Do(func() {
 		start := time.Now()
-		b, warm, err := LoadOrExploreBaseline(s.prog, threadFns, ncfg, cacheDir)
+		b, warm, err := LoadOrExploreBaselineCtx(ctx, s.prog, threadFns, ncfg, cacheDir)
 		pass := "mc-baseline"
 		if warm {
 			pass = "mc-baseline/warm"
@@ -410,6 +423,13 @@ func (s *Session) CertBaselineAt(threadFns []string, cfg mc.Config, cacheDir str
 		s.record(pass, start)
 		en.b, en.err = b, err
 	})
+	if en.err != nil && (errors.Is(en.err, context.Canceled) || errors.Is(en.err, context.DeadlineExceeded)) {
+		s.bmu.Lock()
+		if s.baselines[key] == en {
+			delete(s.baselines, key)
+		}
+		s.bmu.Unlock()
+	}
 	return en.b, en.err
 }
 
@@ -422,6 +442,15 @@ func (s *Session) CertBaselineAt(threadFns []string, cfg mc.Config, cacheDir str
 // persistence is an optimization and must never fail a certification that
 // exploration could complete.
 func LoadOrExploreBaseline(p *ir.Program, threadFns []string, cfg mc.Config, cacheDir string) (b *mc.Baseline, warm bool, err error) {
+	return LoadOrExploreBaselineCtx(context.Background(), p, threadFns, cfg, cacheDir)
+}
+
+// LoadOrExploreBaselineCtx is LoadOrExploreBaseline bounded by a context:
+// store reads, the SC exploration and the write-back all observe ctx, so a
+// cancelled certification returns ctx's error promptly and never leaves a
+// fresh store entry behind (writes are skipped outright once ctx is done;
+// the store's atomic rename already rules out partial entries).
+func LoadOrExploreBaselineCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg mc.Config, cacheDir string) (b *mc.Baseline, warm bool, err error) {
 	ncfg := cfg.Normalize()
 	ncfg.Mode = tso.SC
 
@@ -430,7 +459,7 @@ func LoadOrExploreBaseline(p *ir.Program, threadFns []string, cfg mc.Config, cac
 	if cacheDir != "" {
 		if st, _ = store.Open(cacheDir); st != nil {
 			key = mc.BaselineKey(p, threadFns, ncfg).String()
-			if data, ok := st.Get(key); ok {
+			if data, ok := st.GetCtx(ctx, key); ok {
 				if b, err := mc.UnmarshalBaseline(p, threadFns, ncfg, data); err == nil {
 					return b, true, nil
 				}
@@ -442,13 +471,13 @@ func LoadOrExploreBaseline(p *ir.Program, threadFns []string, cfg mc.Config, cac
 		}
 	}
 
-	b, err = mc.NewBaseline(p, threadFns, ncfg)
+	b, err = mc.NewBaselineCtx(ctx, p, threadFns, ncfg)
 	if err != nil {
 		return nil, false, err
 	}
 	if st != nil {
 		if data, merr := b.MarshalBinary(); merr == nil {
-			_ = st.Put(key, data) // best-effort write-back
+			_ = st.PutCtx(ctx, key, data) // best-effort write-back
 		}
 	}
 	return b, false, nil

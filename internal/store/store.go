@@ -24,6 +24,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -203,6 +204,30 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.hits.Add(1)
 	return payload, true
+}
+
+// GetCtx is Get gated by a context: a cancelled ctx returns not-found
+// without touching the disk, so a cancelled certification never blocks on
+// store I/O. The skip is not counted as a miss — no lookup happened, and
+// the hit/miss counters feed warm-vs-cold reporting that must stay
+// truthful across interrupted runs.
+func (s *Store) GetCtx(ctx context.Context, key string) ([]byte, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	return s.Get(key)
+}
+
+// PutCtx is Put gated by a context: a cancelled ctx skips the write
+// entirely and returns ctx's error, so an abandoned run leaves no fresh
+// entries behind. Entries that do get written are complete by
+// construction (temp file + atomic rename) — cancellation can only
+// suppress a write, never truncate one.
+func (s *Store) PutCtx(ctx context.Context, key string, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.Put(key, payload)
 }
 
 // Put stores payload under key, atomically: the framed entry is written to

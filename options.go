@@ -1,0 +1,139 @@
+package fenceplace
+
+import (
+	"os"
+
+	"fenceplace/internal/mc"
+)
+
+// Option is the one configuration vocabulary of the public API: the same
+// option set parameterizes analyzer construction (NewAnalyzer) and
+// certification (CertifyCtx, BaselineCtx). Options irrelevant to a call
+// are simply ignored by it — WithTiming has no effect on a certification,
+// WithMaxStates none on static analysis — so one resolved option list can
+// drive a whole pipeline.
+//
+// Every knob the deprecated CertOptions struct exposed has an Option
+// counterpart; CertOptions.Options converts.
+type Option func(*config)
+
+// config is the resolved form of an option list. The zero value selects
+// every default; resolve applies the options and pins environment-derived
+// defaults (the cache directory) once, so a configuration cannot drift
+// mid-run when the environment changes.
+type config struct {
+	workers int  // bounded fan-out: per-function passes and exploration workers
+	timing  bool // Results carry per-pass wall times
+
+	maxStates int64 // model-checker state budget per exploration
+	bufferCap int   // modeled TSO store-buffer capacity
+	memoryCap int   // model-checker arena limit in words
+	exactSeen bool  // exact string-keyed seen sets (oracle mode)
+	noPOR     bool  // disable partial-order reduction (oracle mode)
+
+	cacheDir    string // persistent baseline store directory ("" = none)
+	cacheDirSet bool   // WithCacheDir was given; skip the env default
+}
+
+// resolve folds an option list into a configuration. The baseline-store
+// default is resolved here, exactly once per configuration: when no
+// WithCacheDir option is present, $FENCEPLACE_CACHE_DIR is read at this
+// point and the value is carried in the config from then on. A mid-run
+// change to the environment therefore cannot split one run across two
+// stores — every consumer of the resolved config sees the same directory.
+func resolve(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if !c.cacheDirSet {
+		// Marking the directory as set makes the resolution sticky: a
+		// resolved config re-applied later (Resolved's pinning) keeps this
+		// value instead of consulting the environment again.
+		c.cacheDir, c.cacheDirSet = os.Getenv("FENCEPLACE_CACHE_DIR"), true
+	}
+	return c
+}
+
+// mcConfig maps the exploration-shaping knobs onto a model-checker
+// configuration (the single source of this mapping; CertOptions.MCConfig
+// remains as the deprecated adapter's view of it).
+func (c config) mcConfig() mc.Config {
+	return mc.Config{
+		MaxStates: c.maxStates,
+		Workers:   c.workers,
+		BufferCap: c.bufferCap,
+		MemoryCap: c.memoryCap,
+		ExactSeen: c.exactSeen,
+		NoPOR:     c.noPOR,
+	}
+}
+
+// WithWorkers bounds the configured parallelism: the analyzer's
+// per-function fan-out and the model checker's exploration workers alike.
+// n < 1 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithTiming makes every produced Result carry per-pass wall times, which
+// Summary then reports.
+func WithTiming() Option {
+	return func(c *config) { c.timing = true }
+}
+
+// WithCacheDir names the persistent, content-addressed baseline store
+// (internal/store) certifications consult before exploring and write back
+// after. The empty string disables persistence explicitly — unlike
+// omitting the option, which falls back to $FENCEPLACE_CACHE_DIR (read
+// once, when the option list is resolved).
+func WithCacheDir(dir string) Option {
+	return func(c *config) { c.cacheDir, c.cacheDirSet = dir, true }
+}
+
+// WithMaxStates bounds each model-checker exploration to n states; an
+// exceeded budget surfaces as an error wrapping ErrTruncated, never as a
+// verdict. n <= 0 means the checker's default (2M states).
+func WithMaxStates(n int64) Option {
+	return func(c *config) { c.maxStates = n }
+}
+
+// WithExactSeen switches the model checker to exact string-keyed seen
+// sets — the slow cross-checking oracle for the fingerprint tables.
+func WithExactSeen() Option {
+	return func(c *config) { c.exactSeen = true }
+}
+
+// WithNoPOR disables partial-order reduction — the cross-checking oracle
+// for the reduced exploration.
+func WithNoPOR() Option {
+	return func(c *config) { c.noPOR = true }
+}
+
+// WithBufferCap sets the modeled TSO store-buffer capacity (default 4).
+func WithBufferCap(n int) Option {
+	return func(c *config) { c.bufferCap = n }
+}
+
+// WithMemoryCap sets the model checker's arena limit in words (default
+// 1<<16).
+func WithMemoryCap(n int) Option {
+	return func(c *config) { c.memoryCap = n }
+}
+
+// Resolved returns an option list equivalent to opts with every
+// environment-derived default pinned: applying the result any number of
+// times, at any later point, yields exactly the configuration opts
+// resolves to now. Multi-program drivers (the corpus runner, the
+// experiment harness) resolve once up front so a mid-run environment
+// change cannot split one run across two baseline stores.
+func Resolved(opts ...Option) []Option {
+	c := resolve(opts)
+	return []Option{func(o *config) { *o = c }}
+}
+
+// AnalyzerOption is the historical name of Option from when analyzer
+// construction had its own option type.
+//
+// Deprecated: use Option.
+type AnalyzerOption = Option
