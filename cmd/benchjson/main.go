@@ -9,6 +9,11 @@
 // input (goos/goarch/pkg/cpu headers) are captured into the envelope;
 // everything else is passed through untouched to stderr so test failures
 // stay visible in CI logs.
+//
+// -metrics FILE folds a telemetry snapshot (the JSON the bench run dumps
+// via FENCEPLACE_BENCH_METRICS, or a CLI's -metrics output) into the
+// envelope verbatim, so the benchmark record carries the run's counters
+// (states visited, seen-table probes, store hits) next to its timings.
 package main
 
 import (
@@ -44,6 +49,11 @@ type Report struct {
 	Commit     string   `json:"commit,omitempty"`
 	Time       string   `json:"time,omitempty"` // RFC 3339, UTC
 	Benchmarks []Result `json:"benchmarks"`
+
+	// Metrics is the run's telemetry snapshot (-metrics FILE), embedded
+	// verbatim: the file is already JSON, so it is carried as-is rather
+	// than re-marshalled through an intermediate struct.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // resolveCommit picks the commit stamped into the envelope: an explicit
@@ -124,15 +134,35 @@ func parse(in io.Reader, passthrough io.Writer) (*Report, error) {
 	return rep, sc.Err()
 }
 
+// loadMetrics reads and validates a telemetry snapshot file for embedding.
+func loadMetrics(path string) (json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw = []byte(strings.TrimSpace(string(raw)))
+	if !json.Valid(raw) {
+		return nil, fmt.Errorf("%s: not valid JSON", path)
+	}
+	return raw, nil
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	commit := flag.String("commit", "", "commit to stamp the record with (default $GITHUB_SHA, $GIT_COMMIT, then git rev-parse HEAD)")
+	metrics := flag.String("metrics", "", "telemetry snapshot JSON file to embed in the record")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if rep.Metrics, err = loadMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	rep.Commit = resolveCommit(*commit, os.Getenv, gitHead)
 	rep.Time = time.Now().UTC().Format(time.RFC3339)

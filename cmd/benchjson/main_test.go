@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,6 +75,61 @@ func TestResolveCommit(t *testing.T) {
 	}
 	if got := resolveCommit("", env(nil), noHead); got != "" {
 		t.Errorf("expected empty commit outside a repo, got %q", got)
+	}
+}
+
+func TestLoadMetrics(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "metrics.json")
+	snapshot := "{\n  \"counters\": {\"mc.states_visited\": 2469}\n}\n"
+	if err := os.WriteFile(good, []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := loadMetrics(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot embeds verbatim into the envelope and survives a
+	// round-trip as the same JSON value.
+	rep := &Report{Benchmarks: []Result{}, Metrics: raw}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	var counters struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(back.Metrics, &counters); err != nil {
+		t.Fatal(err)
+	}
+	if got := counters.Counters["mc.states_visited"]; got != 2469 {
+		t.Errorf("embedded counter = %d, want 2469", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadMetrics(bad); err == nil {
+		t.Error("loadMetrics accepted invalid JSON")
+	}
+	if _, err := loadMetrics(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loadMetrics accepted a missing file")
+	}
+}
+
+func TestReportOmitsEmptyMetrics(t *testing.T) {
+	enc, err := json.Marshal(&Report{Benchmarks: []Result{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "metrics") {
+		t.Errorf("empty metrics not omitted: %s", enc)
 	}
 }
 

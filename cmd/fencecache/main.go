@@ -3,6 +3,7 @@
 // from (see internal/store):
 //
 //	fencecache -dir /var/cache/fenceplace stats            # entry count, bytes, quarantine
+//	fencecache -dir /var/cache/fenceplace stats -json      # machine-readable, telemetry counters included
 //	fencecache -dir /var/cache/fenceplace ls               # one line per entry
 //	fencecache -dir /var/cache/fenceplace verify           # integrity-check everything
 //	fencecache -dir /var/cache/fenceplace gc -max-bytes 1048576
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,13 +60,36 @@ func main() {
 
 	switch cmd := flag.Arg(0); cmd {
 	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		jsonOut := fs.Bool("json", false, "emit the stats as JSON, telemetry counters included")
+		fs.Parse(flag.Args()[1:])
 		entries := mustList(st)
 		var bytes int64
 		for _, en := range entries {
 			bytes += en.Size
 		}
+		quar, _ := st.Quarantined()
+		if *jsonOut {
+			// The counters come from the store's telemetry registry — the
+			// same "store.*" names the unified snapshot reports — scoped to
+			// this store handle's operations.
+			out := struct {
+				Dir         string           `json:"dir"`
+				Entries     int              `json:"entries"`
+				Bytes       int64            `json:"bytes"`
+				Quarantined int              `json:"quarantined"`
+				Counters    map[string]int64 `json:"counters"`
+			}{st.Dir(), len(entries), bytes, len(quar), st.Snapshot().Counters}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			break
+		}
 		fmt.Printf("store %s: %d entries, %d bytes\n", st.Dir(), len(entries), bytes)
-		if quar, err := st.Quarantined(); err == nil && len(quar) > 0 {
+		if len(quar) > 0 {
 			fmt.Printf("quarantined: %d files (reclaimed by the next gc)\n", len(quar))
 		}
 	case "ls":

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +45,7 @@ import (
 	"fenceplace"
 	"fenceplace/corpus"
 	"fenceplace/internal/progs"
+	"fenceplace/internal/telemetry"
 )
 
 const (
@@ -66,16 +68,41 @@ func main() {
 		unfenced = flag.Bool("unfenced", false, "certify the unfenced legacy build instead of the instrumented one")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
 		jsonOut  = flag.Bool("json", false, "emit the certification as a corpus Report row (JSON) instead of prose")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-openable) of the run")
+		metrics  = flag.Bool("metrics", false, "dump the final telemetry snapshot (JSON) to stderr on exit")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address for the run's duration")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	name, prog, err := loadProgram(*progName, *file, *threads, *size)
+	// Telemetry cleanup must precede every os.Exit (which skips defers):
+	// the trace file is only valid JSON once finalized, and the -metrics
+	// snapshot is written at cleanup time. exit routes all terminations
+	// through it.
+	var metricsW io.Writer
+	if *metrics {
+		metricsW = os.Stderr
+	}
+	cleanup, err := telemetry.Mount(telemetry.MountConfig{
+		TracePath: *traceOut, PprofAddr: *pprof, Metrics: metricsW,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitError)
+	}
+	exit := func(code int) {
+		if err := cleanup(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+		}
+		os.Exit(code)
+	}
+
+	name, prog, err := loadProgram(*progName, *file, *threads, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(exitError)
 	}
 
 	var strategies []fenceplace.Strategy
@@ -92,7 +119,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown strategy %q (valid choices: pensieve, control, addresscontrol, all)\n", *strategy)
-		os.Exit(exitError)
+		exit(exitError)
 	}
 
 	var entries []string
@@ -116,11 +143,11 @@ func main() {
 	if *jsonOut {
 		if *unfenced {
 			fmt.Fprintln(os.Stderr, "-json does not support -unfenced (the unfenced build is no placement variant)")
-			os.Exit(exitError)
+			exit(exitError)
 		}
-		os.Exit(runJSON(ctx, name, prog, strategies, entries, opts))
+		exit(runJSON(ctx, name, prog, strategies, entries, opts))
 	}
-	os.Exit(runText(ctx, prog, strategies, entries, opts, *unfenced))
+	exit(runText(ctx, prog, strategies, entries, opts, *unfenced))
 }
 
 // runJSON certifies through the corpus runner and emits the Report row.

@@ -26,9 +26,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 
 	"fenceplace"
@@ -36,6 +38,7 @@ import (
 	"fenceplace/internal/exp"
 	"fenceplace/internal/mc"
 	"fenceplace/internal/store"
+	"fenceplace/internal/telemetry"
 )
 
 func main() {
@@ -55,18 +58,49 @@ func main() {
 		shard    = flag.String("shard", "", "run only shard i/n of the corpus (e.g. 2/4); rows keep their unsharded index")
 		jsonOut  = flag.String("json", "", "write the run's corpus Report JSON to this file")
 		mergeIn  = flag.String("merge", "", "comma-separated report JSON files: skip analysis, merge them and render the requested tables")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-openable) of the run")
+		metrics  = flag.Bool("metrics", false, "dump the final telemetry snapshot (JSON) to stderr on exit")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address for the run's duration")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Observability surfaces. exit (below) runs the cleanup — trace-file
+	// finalization, metrics dump — before os.Exit, which would skip defers;
+	// the deferred call covers the fall-through return.
+	var metricsW io.Writer
+	if *metrics {
+		metricsW = os.Stderr
+	}
+	cleanup, err := telemetry.Mount(telemetry.MountConfig{
+		TracePath: *traceOut, PprofAddr: *pprof, Metrics: metricsW,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var cleanupOnce sync.Once
+	finish := func() {
+		cleanupOnce.Do(func() {
+			if err := cleanup(); err != nil {
+				fmt.Fprintln(os.Stderr, "telemetry:", err)
+			}
+		})
+	}
+	defer finish()
+	exit := func(code int) {
+		finish()
+		os.Exit(code)
+	}
+
 	all := !*table2 && !*fig2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*manual && !*cert
 
 	if *mergeIn != "" {
 		if err := renderMerged(*mergeIn, all, *fig7, *fig8, *fig9, *fig10, *manual, *cert); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -74,7 +108,7 @@ func main() {
 	shardI, shardN, err := parseShard(*shard)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	if all || *table2 {
@@ -101,7 +135,7 @@ func main() {
 		rep, err := runCert(ctx, shardI, shardN, *jobs, opts, dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		out = rep
 		certRan = true
@@ -114,14 +148,14 @@ func main() {
 		if shardN > 0 {
 			if src, err = corpus.Shard(src, shardI, shardN); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				exit(2)
 			}
 		}
 		runner := corpus.Runner{Seeds: *seeds, Workers: *jobs, Options: opts}
 		rep, err := runner.Run(ctx, src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		out = rep
 		renderFigures(rep, all, *fig7, *fig8, *fig9, *fig10, *manual)
@@ -142,7 +176,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 }

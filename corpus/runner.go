@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fenceplace"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/par"
+	"fenceplace/internal/telemetry"
 	"fenceplace/internal/tso"
 )
 
@@ -102,6 +104,7 @@ func (r *Runner) Stream(ctx context.Context, src Source, emit func(Row) error) e
 		failMu   sync.Mutex
 		firstErr error
 		stopped  atomic.Bool
+		done     atomic.Int64
 	)
 	fail := func(err error) {
 		failMu.Lock()
@@ -111,6 +114,12 @@ func (r *Runner) Stream(ctx context.Context, src Source, emit func(Row) error) e
 		failMu.Unlock()
 		stopped.Store(true)
 	}
+	// Row-completion progress: when the run's options carry a WithProgress
+	// sink, every finished row reports its corpus position. Delivery shares
+	// emit's mutex, so sink calls are serialized like emit calls.
+	sink := fenceplace.ProgressSink(opts...)
+	total := src.Len()
+	runStart := time.Now()
 
 	par.ForEach(src.Len(), workers, func(i int) {
 		if stopped.Load() || ctx.Err() != nil {
@@ -123,6 +132,16 @@ func (r *Runner) Stream(ctx context.Context, src Source, emit func(Row) error) e
 		}
 		emitMu.Lock()
 		err = emit(*row)
+		if sink != nil {
+			sink(fenceplace.ProgressEvent{
+				Kind:      fenceplace.ProgressRow,
+				Program:   row.Program,
+				Elapsed:   time.Since(runStart),
+				Index:     row.Index,
+				RowsDone:  int(done.Add(1)),
+				RowsTotal: total,
+			})
+		}
 		emitMu.Unlock()
 		if err != nil {
 			fail(err)
@@ -142,6 +161,19 @@ func (r *Runner) runOne(ctx context.Context, src Source, i int, strategies []fen
 	index := i
 	if ix, ok := src.(indexed); ok {
 		index = ix.origIndex(i)
+	}
+	if telemetry.TraceEnabled() {
+		start := time.Now()
+		defer func() {
+			telemetry.Emit(telemetry.Span{
+				Name:  "row " + name,
+				Cat:   "corpus",
+				Track: telemetry.NextTrack(),
+				Start: start,
+				Dur:   time.Since(start),
+				Args:  []telemetry.Arg{{Key: "index", Val: int64(index)}},
+			})
+		}()
 	}
 	prog := src.Build(i)
 	az := fenceplace.NewAnalyzer(prog, innerOpts...)

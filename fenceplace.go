@@ -514,6 +514,7 @@ func CertifyCtx(ctx context.Context, res *Result, threads []string, opts ...Opti
 		c = resolve(opts)
 	}
 	cfg := c.mcConfig()
+	ctx = c.exploreCtx(ctx) // WithProgress streams every exploration below
 	if res.sess != nil {
 		base, err := res.sess.CertBaselineAtCtx(ctx, threads, cfg, c.cacheDir)
 		if err != nil {
@@ -552,7 +553,7 @@ func (a *Analyzer) BaselineCtx(ctx context.Context, threads []string, opts ...Op
 	if len(opts) > 0 {
 		c = resolve(opts)
 	}
-	return a.sess.CertBaselineAtCtx(ctx, threads, c.mcConfig(), c.cacheDir)
+	return a.sess.CertBaselineAtCtx(c.exploreCtx(ctx), threads, c.mcConfig(), c.cacheDir)
 }
 
 // CertifyProgramCtx certifies an arbitrary instrumented build of the
@@ -567,6 +568,7 @@ func (a *Analyzer) CertifyProgramCtx(ctx context.Context, inst *Program, threads
 		c = resolve(opts)
 	}
 	cfg := c.mcConfig()
+	ctx = c.exploreCtx(ctx)
 	base, err := a.sess.CertBaselineAtCtx(ctx, threads, cfg, c.cacheDir)
 	if err != nil {
 		return nil, err

@@ -6,9 +6,31 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fenceplace/internal/ir"
+	"fenceplace/internal/telemetry"
 	"fenceplace/internal/tso"
+)
+
+// Registry metrics of the model checker. Workers accumulate plain local
+// counts (workerStats) and flush them once per exploration on their own
+// shard, so the hot loop stays free of atomics and allocations; only the
+// counters the heartbeat samples live (visited, inflight, seen) are shared
+// engine atomics.
+var (
+	mExploreRuns   = telemetry.NewCounter("mc.explore_runs")
+	mSCExploreRuns = telemetry.NewCounter("mc.sc_explore_runs")
+	mStates        = telemetry.NewCounter("mc.states_visited")
+	mTransitions   = telemetry.NewCounter("mc.transitions_executed")
+	mSleepPrunes   = telemetry.NewCounter("mc.sleep_set_prunes")
+	mSteals        = telemetry.NewCounter("mc.steals")
+	mSeenProbes    = telemetry.NewCounter("mc.seen_probes")
+	mSeenStates    = telemetry.NewCounter("mc.seen_states")
+	mFreelistHits  = telemetry.NewCounter("mc.freelist_hits")
+	mTruncated     = telemetry.NewCounter("mc.truncated_runs")
+	mFrontierDepth = telemetry.NewHistogram("mc.frontier_depth")
+	mMemHeadroom   = telemetry.NewGauge("mc.memcap_headroom")
 )
 
 const nShards = 64 // seen-set shards; fine-grained locking for the pool
@@ -45,6 +67,7 @@ type engine struct {
 
 	shards    [nShards]seenShard
 	visited   atomic.Int64
+	seen      atomic.Int64 // distinct states inserted into the seen set
 	truncated atomic.Bool
 	inflight  atomic.Int64
 	hungry    atomic.Int32
@@ -70,6 +93,34 @@ type workerCtx struct {
 	an         analysis
 	freeStates []*state
 	freeNodes  []*node
+	stats      workerStats
+}
+
+// workerStats is the worker-local metric accumulator: plain integers
+// bumped in the hot loop (no atomics, no sharing) and flushed to the
+// registry counters once, on the worker's own shard, when the worker
+// retires.
+type workerStats struct {
+	states       int64 // states expanded (mirrors engine.visited)
+	transitions  int64 // child transitions executed
+	sleepPrunes  int64 // states pruned by the sleep-set seen protocol
+	steals       int64 // nodes received over the handoff channel
+	seenProbes   int64 // seen-set lookups
+	freelistHits int64 // state/node shells served from the local freelist
+	maxFrontier  int64 // peak local frontier depth
+	maxMem       int64 // peak state arena size in words
+}
+
+// flush adds the accumulated statistics to the registry on the given
+// shard (the worker's index, so concurrent workers never contend).
+func (st *workerStats) flush(shard int) {
+	mStates.Add(shard, st.states)
+	mTransitions.Add(shard, st.transitions)
+	mSleepPrunes.Add(shard, st.sleepPrunes)
+	mSteals.Add(shard, st.steals)
+	mSeenProbes.Add(shard, st.seenProbes)
+	mFreelistHits.Add(shard, st.freelistHits)
+	mFrontierDepth.Observe(shard, st.maxFrontier)
 }
 
 // statePool and nodePool recycle shells across explorations: a worker's
@@ -86,6 +137,7 @@ func (w *workerCtx) newState() *state {
 	if n := len(w.freeStates); n > 0 {
 		s := w.freeStates[n-1]
 		w.freeStates = w.freeStates[:n-1]
+		w.stats.freelistHits++
 		return s
 	}
 	return statePool.Get().(*state)
@@ -98,6 +150,7 @@ func (w *workerCtx) newNode(s *state, sleep, revisit uint32) *node {
 	if l := len(w.freeNodes); l > 0 {
 		n = w.freeNodes[l-1]
 		w.freeNodes = w.freeNodes[:l-1]
+		w.stats.freelistHits++
 	} else {
 		n = nodePool.Get().(*node)
 	}
@@ -133,25 +186,22 @@ func fnv1a(b []byte) uint64 {
 	return h
 }
 
-// exploreRuns counts Explore invocations process-wide; tests assert
-// baseline reuse (one SC exploration for N certified variants) against it.
-var exploreRuns atomic.Int64
-
 // ExploreRuns returns the cumulative number of Explore invocations in this
 // process. It exists for tests and telemetry: certifying N fence-placement
 // variants of one program against a shared Baseline must advance it by
 // exactly N+1 (one SC exploration plus one TSO exploration per variant).
-func ExploreRuns() int64 { return exploreRuns.Load() }
-
-// scExploreRuns counts the SC-mode subset of exploreRuns. The persistent
-// baseline store is judged against it: a fully warm certification run must
-// leave it untouched (every SC baseline served from disk).
-var scExploreRuns atomic.Int64
+//
+// Deprecated: this is a read of the "mc.explore_runs" registry counter;
+// new code should consume telemetry.Default().Snapshot() instead.
+func ExploreRuns() int64 { return mExploreRuns.Value() }
 
 // SCExploreRuns returns the cumulative number of SC-mode Explore
 // invocations in this process — the explorations a warm baseline cache
 // exists to avoid.
-func SCExploreRuns() int64 { return scExploreRuns.Load() }
+//
+// Deprecated: this is a read of the "mc.sc_explore_runs" registry counter;
+// new code should consume telemetry.Default().Snapshot() instead.
+func SCExploreRuns() int64 { return mSCExploreRuns.Value() }
 
 // newEngine builds an engine and the initial state for the given entry
 // configuration (thread functions, or the program's main when nil).
@@ -221,10 +271,11 @@ func Explore(p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
 // ctx's error. Cancellation reuses the budget-exhaustion drain path, so no
 // per-state ctx polling taxes the hot loop.
 func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Config) (*StateSet, error) {
-	exploreRuns.Add(1)
+	mExploreRuns.Inc(0)
 	if cfg.Mode == tso.SC {
-		scExploreRuns.Add(1)
+		mSCExploreRuns.Inc(0)
 	}
+	start := time.Now()
 	e, init, err := newEngine(p, threadFns, cfg)
 	if err != nil {
 		return nil, err
@@ -247,26 +298,90 @@ func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Conf
 		}
 	}()
 
+	// The heartbeat streams Progress events while workers run; it exits on
+	// e.done, which is closed before the last worker returns, so joining it
+	// after wg.Wait cannot deadlock and the final (synchronous) event below
+	// never races a ticker-driven one.
+	pc, hasProgress := progressFrom(ctx)
+	var hbDone chan struct{}
+	if hasProgress {
+		hbDone = make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			e.heartbeat(pc, start)
+		}()
+	}
+
 	var wg sync.WaitGroup
+	var maxMem atomic.Int64
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			wctx := &workerCtx{encBuf: make([]byte, 0, 256)}
 			e.worker(wctx)
+			wctx.stats.flush(shard)
+			for m := wctx.stats.maxMem; ; {
+				cur := maxMem.Load()
+				if m <= cur || maxMem.CompareAndSwap(cur, m) {
+					break
+				}
+			}
 			wctx.release()
-		}()
+		}(w)
 	}
 	wg.Wait()
 	<-watchDone
+	mSeenStates.Add(0, e.seen.Load())
+	if e.cfg.MemoryCap > 0 {
+		mMemHeadroom.Set(0, int64(e.cfg.MemoryCap)-maxMem.Load())
+	}
 
 	if e.err != nil {
+		if hbDone != nil {
+			<-hbDone
+		}
 		return nil, e.err
 	}
 	res := &StateSet{
 		Outcomes:  e.outcomes,
 		Visited:   e.visited.Load(),
 		Truncated: e.truncated.Load(),
+	}
+	if res.Truncated {
+		mTruncated.Inc(0)
+	}
+	if telemetry.TraceEnabled() {
+		telemetry.Emit(telemetry.Span{
+			Name:  "explore " + p.Name + "/" + cfg.Mode.String(),
+			Cat:   "mc",
+			Track: telemetry.NextTrack(),
+			Start: start,
+			Dur:   time.Since(start),
+			Args: []telemetry.Arg{
+				{Key: "visited", Val: res.Visited},
+				{Key: "outcomes", Val: int64(len(res.Outcomes))},
+				{Key: "workers", Val: int64(cfg.Workers)},
+			},
+		})
+	}
+	if hasProgress {
+		<-hbDone
+		elapsed := time.Since(start)
+		var rate float64
+		if s := elapsed.Seconds(); s > 0 {
+			rate = float64(res.Visited) / s
+		}
+		pc.fn(Progress{
+			Program:      p.Name,
+			Mode:         cfg.Mode,
+			Visited:      res.Visited,
+			Frontier:     e.inflight.Load(),
+			Seen:         e.seen.Load(),
+			Elapsed:      elapsed,
+			StatesPerSec: rate,
+			Final:        true,
+		})
 	}
 	return res, nil
 }
@@ -282,6 +397,7 @@ func (e *engine) worker(w *workerCtx) {
 			select {
 			case n = <-e.handoff:
 				e.hungry.Add(-1)
+				w.stats.steals++
 			case <-e.done:
 				e.hungry.Add(-1)
 				return
@@ -327,11 +443,18 @@ func (e *engine) expand(w *workerCtx, n *node) {
 		return // budget blown or failed: drain the frontier uncounted
 	}
 	v := e.visited.Add(1)
+	w.stats.states++
 	if v > e.cfg.MaxStates {
 		e.truncated.Store(true)
 		return
 	}
 	s := n.s
+	if m := int64(len(s.mem)); m > w.stats.maxMem {
+		w.stats.maxMem = m
+	}
+	if d := int64(len(w.local)); d > w.stats.maxFrontier {
+		w.stats.maxFrontier = d
+	}
 	if s.terminal() {
 		e.record(w, s, "")
 		return
@@ -376,6 +499,7 @@ func (e *engine) expand(w *workerCtx, n *node) {
 			continue
 		}
 		child := w.newState()
+		w.stats.transitions++
 		cloneInto(child, s)
 		if bit < MaxThreads {
 			if err := e.applyStep(child, bit); err != nil {
@@ -407,6 +531,7 @@ func (e *engine) enqueue(w *workerCtx, s *state, sleep uint32) {
 		return
 	}
 	w.encBuf = e.encode(s, w.encBuf)
+	w.stats.seenProbes++
 
 	var need bool
 	var revisit uint32
@@ -438,9 +563,13 @@ func (e *engine) enqueue(w *workerCtx, s *state, sleep uint32) {
 	}
 
 	if need {
+		if revisit == 0 {
+			e.seen.Add(1) // first sighting: the table grew by one state
+		}
 		e.inflight.Add(1)
 		w.local = append(w.local, w.newNode(s, sleep, revisit))
 	} else {
+		w.stats.sleepPrunes++
 		w.putState(s)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"fenceplace/internal/par"
 	"fenceplace/internal/slicer"
 	"fenceplace/internal/store"
+	"fenceplace/internal/telemetry"
 	"fenceplace/internal/tso"
 )
 
@@ -113,8 +114,9 @@ type Session struct {
 	bmu       sync.Mutex
 	baselines map[baselineKey]*baselineEntry
 
-	tmu     sync.Mutex
-	timings []Timing
+	tmu   sync.Mutex
+	spans []telemetry.Span // completed pass executions, in completion order
+	track int32            // the session's trace lane (one per Session)
 }
 
 // baselineKey identifies one certification baseline: the entry
@@ -137,7 +139,7 @@ type baselineEntry struct {
 // NewSession finalizes the program and prepares an empty session; every
 // pass runs lazily on first demand.
 func NewSession(p *ir.Program, opts ...Option) *Session {
-	s := &Session{prog: p}
+	s := &Session{prog: p, track: telemetry.NextTrack()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -155,21 +157,45 @@ func NewSession(p *ir.Program, opts ...Option) *Session {
 // Program returns the analyzed program.
 func (s *Session) Program() *ir.Program { return s.prog }
 
-// record appends a pass timing.
+// record registers a completed pass execution as a span: appended to the
+// session's span log (the source of truth behind Timings) and forwarded
+// to the process trace sink, so a -trace run shows every pass on the
+// session's lane.
 func (s *Session) record(pass string, start time.Time) {
-	d := time.Since(start)
+	sp := telemetry.Span{
+		Name:  pass,
+		Cat:   "pass",
+		Track: s.track,
+		Start: start,
+		Dur:   time.Since(start),
+	}
+	telemetry.Emit(sp)
 	s.tmu.Lock()
-	s.timings = append(s.timings, Timing{Pass: pass, Duration: d})
+	s.spans = append(s.spans, sp)
 	s.tmu.Unlock()
 }
 
+// Spans returns a copy of the pass spans recorded so far, in completion
+// order — the full record (start time, duration, trace lane) behind the
+// Timings view.
+func (s *Session) Spans() []telemetry.Span {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make([]telemetry.Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
 // Timings returns the wall time of every pass executed so far, in
-// completion order.
+// completion order. It is a view over the session's span log; the spans
+// themselves (Spans) carry the start times and trace attribution.
 func (s *Session) Timings() []Timing {
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
-	out := make([]Timing, len(s.timings))
-	copy(out, s.timings)
+	out := make([]Timing, len(s.spans))
+	for i, sp := range s.spans {
+		out[i] = Timing{Pass: sp.Name, Duration: sp.Dur}
+	}
 	return out
 }
 

@@ -32,8 +32,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"fenceplace/internal/telemetry"
+)
+
+// Process-wide store metrics in the default telemetry registry: the sum
+// over every open store, feeding the -metrics dumps and the expvar
+// export. Per-directory counters live in each Store's private registry
+// (see Store.Snapshot); Stats reads those, so warm-vs-cold deltas remain
+// attributable to one cache directory.
+var (
+	gHits        = telemetry.NewCounter("store.hits")
+	gMisses      = telemetry.NewCounter("store.misses")
+	gPuts        = telemetry.NewCounter("store.puts")
+	gEvicted     = telemetry.NewCounter("store.evictions")
+	gQuarantined = telemetry.NewCounter("store.quarantines")
+	gEntryBytes  = telemetry.NewHistogram("store.entry_bytes")
 )
 
 const (
@@ -77,10 +92,23 @@ type Entry struct {
 
 // Store is one content-addressed artifact directory. All methods are safe
 // for concurrent use; cross-process safety rests on atomic renames.
+//
+// Counters are telemetry metrics in a per-store registry (one namespace
+// per directory), mirrored into the process-wide "store.*" counters of the
+// default registry; Stats and Snapshot are views of them.
 type Store struct {
 	dir string
 
-	hits, misses, puts, evicted, quarantined atomic.Int64
+	reg                                      *telemetry.Registry
+	hits, misses, puts, evicted, quarantined *telemetry.Counter
+}
+
+// count bumps a per-store counter and its process-wide mirror. Counter
+// writes land on shard 0: store operations are I/O-bound and serialized
+// around the filesystem, so shard fan-out would buy nothing here.
+func count(local, global *telemetry.Counter, d int64) {
+	local.Add(0, d)
+	global.Add(0, d)
 }
 
 var (
@@ -106,7 +134,16 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("store: init %q: %w", abs, err)
 		}
 	}
-	s := &Store{dir: abs}
+	reg := telemetry.NewRegistry()
+	s := &Store{
+		dir:         abs,
+		reg:         reg,
+		hits:        reg.Counter("store.hits"),
+		misses:      reg.Counter("store.misses"),
+		puts:        reg.Counter("store.puts"),
+		evicted:     reg.Counter("store.evictions"),
+		quarantined: reg.Counter("store.quarantines"),
+	}
 	registry[abs] = s
 	return s, nil
 }
@@ -117,13 +154,18 @@ func (s *Store) Dir() string { return s.dir }
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		Evicted:     s.evicted.Load(),
-		Quarantined: s.quarantined.Load(),
+		Hits:        s.hits.Value(),
+		Misses:      s.misses.Value(),
+		Puts:        s.puts.Value(),
+		Evicted:     s.evicted.Value(),
+		Quarantined: s.quarantined.Value(),
 	}
 }
+
+// Snapshot returns the store's per-directory telemetry snapshot — the
+// counters behind Stats in the registry's machine-readable form (the
+// fencecache -json surface).
+func (s *Store) Snapshot() telemetry.Snapshot { return s.reg.Snapshot() }
 
 // validKey reports whether key is a usable content key: lowercase hex,
 // long enough to shard on. Anything else is rejected before it can name a
@@ -188,21 +230,21 @@ func unframe(data []byte) (payload []byte, ok bool) {
 // next run does not re-read known-bad bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
-		s.misses.Add(1)
+		count(s.misses, gMisses, 1)
 		return nil, false
 	}
 	data, err := os.ReadFile(s.entryPath(key))
 	if err != nil {
-		s.misses.Add(1)
+		count(s.misses, gMisses, 1)
 		return nil, false
 	}
 	payload, ok := unframe(data)
 	if !ok {
 		s.Quarantine(key)
-		s.misses.Add(1)
+		count(s.misses, gMisses, 1)
 		return nil, false
 	}
-	s.hits.Add(1)
+	count(s.hits, gHits, 1)
 	return payload, true
 }
 
@@ -260,7 +302,8 @@ func (s *Store) Put(key string, payload []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: put %s: %w", key, werr)
 	}
-	s.puts.Add(1)
+	count(s.puts, gPuts, 1)
+	gEntryBytes.Observe(0, int64(len(payload)))
 	return nil
 }
 
@@ -270,8 +313,8 @@ func (s *Store) Put(key string, payload []byte) error {
 // usable, and warm-vs-cold reporting must say so — and the entry is
 // quarantined.
 func (s *Store) Reject(key string) {
-	s.hits.Add(-1)
-	s.misses.Add(1)
+	count(s.hits, gHits, -1)
+	count(s.misses, gMisses, 1)
 	s.Quarantine(key)
 }
 
@@ -292,7 +335,7 @@ func (s *Store) Quarantine(key string) {
 			return
 		}
 	}
-	s.quarantined.Add(1)
+	count(s.quarantined, gQuarantined, 1)
 }
 
 // List enumerates the stored entries (quarantined and in-flight files
@@ -389,7 +432,7 @@ func (s *Store) GC(maxBytes int64) (evicted int, freed int64, err error) {
 		total -= en.Size
 		freed += en.Size
 		evicted++
-		s.evicted.Add(1)
+		count(s.evicted, gEvicted, 1)
 	}
 	return evicted, freed, nil
 }

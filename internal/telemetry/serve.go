@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: Publish panics on duplicate
+// names, and Mount/Serve may both run in one process.
+var publishOnce sync.Once
+
+// Publish exports the default registry's snapshot as the expvar variable
+// "fenceplace", visible at /debug/vars on any server using the default
+// mux. Safe to call repeatedly.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("fenceplace", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// Serve publishes the registry and starts an HTTP server on addr serving
+// the default mux — net/http/pprof's /debug/pprof handlers and expvar's
+// /debug/vars. It returns the bound address (useful with a ":0" addr) and
+// never blocks; the server runs until the process exits. Diagnostics
+// serving is best-effort by design, so serve errors after a successful
+// bind are dropped.
+func Serve(addr string) (string, error) {
+	Publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}
+
+// MountConfig selects the observability surfaces a command wires up from
+// its flags. Zero values disable each surface.
+type MountConfig struct {
+	TracePath string    // write Chrome trace events here ("" = no tracing)
+	PprofAddr string    // serve pprof+expvar here ("" = no server)
+	Metrics   io.Writer // dump the final snapshot here on cleanup (nil = none)
+}
+
+// Mount wires the command-line observability surfaces: it opens and
+// installs the trace sink, starts the pprof/expvar server, and returns a
+// cleanup that uninstalls the sink, finalizes the trace file and writes
+// the metrics snapshot. Commands must run cleanup before os.Exit — exit
+// bypasses defers, and an unterminated trace file is not valid JSON.
+func Mount(cfg MountConfig) (cleanup func() error, err error) {
+	var tw *TraceWriter
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: trace: %w", err)
+		}
+		tw = NewTraceWriter(f)
+		SetTrace(tw)
+	}
+	if cfg.PprofAddr != "" {
+		addr, err := Serve(cfg.PprofAddr)
+		if err != nil {
+			if tw != nil {
+				SetTrace(nil)
+				tw.Close()
+			}
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof (metrics at /debug/vars)\n", addr)
+	}
+	return func() error {
+		var firstErr error
+		if tw != nil {
+			SetTrace(nil)
+			if err := tw.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if cfg.Metrics != nil {
+			enc, err := json.MarshalIndent(Default().Snapshot(), "", "  ")
+			if err == nil {
+				enc = append(enc, '\n')
+				_, err = cfg.Metrics.Write(enc)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

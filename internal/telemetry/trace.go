@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one span annotation. Values are integers only, so building an
+// argument list allocates nothing beyond the slice itself — span emission
+// must stay cheap enough to leave enabled in production paths.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Span is one completed duration event: a named interval on a track, with
+// integer annotations. Tracks map to Chrome trace "tid" lanes — every
+// session, exploration and corpus row takes its own track (NextTrack), so
+// concurrent work renders as parallel lanes in Perfetto.
+type Span struct {
+	Name  string
+	Cat   string // event category: "pass", "mc", "corpus"
+	Track int32
+	Start time.Time
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// TraceWriter serializes spans as Chrome trace-event JSON (the "JSON
+// array" flavor): one complete-duration ("ph":"X") event per span,
+// timestamps in microseconds relative to the writer's creation. The output
+// loads directly in Perfetto or chrome://tracing. Emission is serialized
+// by a mutex — tracing is for understanding runs, not for the per-state
+// hot path, and spans are per-pass/per-exploration, orders of magnitude
+// rarer than state events.
+type TraceWriter struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer
+	epoch   time.Time
+	scratch []byte
+	n       int
+	closed  bool
+	err     error
+}
+
+// NewTraceWriter wraps w in a trace sink. When w is an io.Closer, Close
+// closes it after finalizing the JSON array.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		epoch:   time.Now(),
+		scratch: make([]byte, 0, 256),
+	}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// appendMicros renders a duration as decimal microseconds with nanosecond
+// precision (the trace format's "ts"/"dur" unit), clamping negatives to 0.
+func appendMicros(buf []byte, d time.Duration) []byte {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	buf = strconv.AppendInt(buf, ns/1000, 10)
+	if frac := ns % 1000; frac != 0 {
+		buf = append(buf, '.')
+		buf = append(buf, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	}
+	return buf
+}
+
+// emit writes one span. Errors are sticky and surface from Close; a trace
+// that stops short still finalizes to valid JSON with the events written
+// so far.
+func (t *TraceWriter) emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	buf := t.scratch[:0]
+	if t.n == 0 {
+		buf = append(buf, "[\n"...)
+	} else {
+		buf = append(buf, ",\n"...)
+	}
+	t.n++
+	buf = append(buf, `{"name":`...)
+	buf = strconv.AppendQuote(buf, s.Name)
+	buf = append(buf, `,"cat":`...)
+	buf = strconv.AppendQuote(buf, s.Cat)
+	buf = append(buf, `,"ph":"X","pid":1,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(s.Track), 10)
+	buf = append(buf, `,"ts":`...)
+	buf = appendMicros(buf, s.Start.Sub(t.epoch))
+	buf = append(buf, `,"dur":`...)
+	buf = appendMicros(buf, s.Dur)
+	if len(s.Args) > 0 {
+		buf = append(buf, `,"args":{`...)
+		for i, a := range s.Args {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendQuote(buf, a.Key)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, a.Val, 10)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}')
+	t.scratch = buf[:0] // keep grown capacity for the next span
+	_, t.err = t.w.Write(buf)
+}
+
+// Close finalizes the JSON array, flushes, and closes the underlying
+// writer when it is closable. An empty trace closes to a valid empty
+// array.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err == nil {
+		if t.n == 0 {
+			_, t.err = t.w.WriteString("[")
+		}
+		if t.err == nil {
+			_, t.err = t.w.WriteString("\n]\n")
+		}
+	}
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+	}
+	return t.err
+}
+
+// activeTrace is the process-wide span sink; nil means tracing is off and
+// Emit is a single atomic load.
+var activeTrace atomic.Pointer[TraceWriter]
+
+// SetTrace installs (or, with nil, removes) the process-wide trace sink.
+// The previous sink, if any, is returned un-closed — the caller that
+// installed it owns its lifecycle.
+func SetTrace(t *TraceWriter) *TraceWriter {
+	return activeTrace.Swap(t)
+}
+
+// TraceEnabled reports whether a trace sink is installed. Instrumented
+// code guards span construction with it so disabled tracing costs one
+// atomic load and no allocation.
+func TraceEnabled() bool { return activeTrace.Load() != nil }
+
+// Emit writes s to the installed trace sink; without one it is a no-op.
+func Emit(s Span) {
+	if t := activeTrace.Load(); t != nil {
+		t.emit(s)
+	}
+}
+
+// trackSeq allocates trace tracks; 0 stays reserved for untracked events.
+var trackSeq atomic.Int32
+
+// NextTrack returns a fresh track id. Tracks are never reused within a
+// process, so lanes from overlapping explorations stay distinct.
+func NextTrack() int32 { return trackSeq.Add(1) }

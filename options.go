@@ -2,6 +2,7 @@ package fenceplace
 
 import (
 	"os"
+	"time"
 
 	"fenceplace/internal/mc"
 )
@@ -33,6 +34,9 @@ type config struct {
 
 	cacheDir    string // persistent baseline store directory ("" = none)
 	cacheDirSet bool   // WithCacheDir was given; skip the env default
+
+	progress      func(ProgressEvent) // streaming progress sink (nil = none)
+	progressEvery time.Duration       // heartbeat interval (0 = default 250ms)
 }
 
 // resolve folds an option list into a configuration. The baseline-store
