@@ -11,7 +11,9 @@ package fenceplace_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"fenceplace"
@@ -26,6 +28,7 @@ import (
 	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/progs"
+	"fenceplace/internal/telemetry"
 	"fenceplace/internal/tso"
 )
 
@@ -278,6 +281,75 @@ func BenchmarkCertify(b *testing.B) {
 				b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
 			})
 		}
+	}
+}
+
+// BenchmarkCertifySpill measures capped-memory certification: the medium
+// kernel at an instantiation whose seen set does not fit the memory budget,
+// so the two-level seen set must seal hot tables into sorted runs and
+// spill them to disk to finish. The budget comes from
+// FENCEPLACE_BENCH_MEMCAP (MemoryCap in arena words; the default 1<<19
+// words anchors a 4 MiB seen budget against a ~50 MiB resident set).
+//
+// The benchmark fails if spilling never engaged (the program fit in RAM —
+// the bench measured nothing) or the exploration truncated, and on ≥4-core
+// machines if throughput drops below 1M states/s. Reported metrics: total
+// states/s, spilled MB per run, the hot-tier share of seen-set hits, and a
+// peak-heap proxy showing the exploration stayed near its budget.
+func BenchmarkCertifySpill(b *testing.B) {
+	b.Setenv("FENCEPLACE_CACHE_DIR", "")
+	memCap := 1 << 19
+	if env := os.Getenv("FENCEPLACE_BENCH_MEMCAP"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			b.Fatalf("FENCEPLACE_BENCH_MEMCAP=%q: %v", env, err)
+		}
+		memCap = n
+	}
+	m := progs.ByName("szymanski")
+	pp := m.Defaults
+	pp.Threads = 2
+	pp.Size = 3 // ~1.9M states: far past the capped seen budget
+	res := fenceplace.Analyze(m.Build(pp), fenceplace.Control)
+	opt := fenceplace.CertOptions{
+		Workers:   runtime.GOMAXPROCS(0),
+		MaxStates: 16 << 20,
+		MemoryCap: memCap,
+		SpillDir:  b.TempDir(),
+	}
+	before := telemetry.Default().Snapshot().Counters
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		rep, err := fenceplace.CertifyOpt(res, nil, opt)
+		if err != nil {
+			// Includes ErrTruncated: the bench must certify to completion.
+			b.Fatal(err)
+		}
+		if !rep.Equivalent {
+			b.Fatalf("szymanski: not SC-equivalent: %s", rep)
+		}
+		states += rep.VisitedSC + rep.VisitedTSO
+	}
+	b.StopTimer()
+	after := telemetry.Default().Snapshot().Counters
+	delta := func(name string) int64 { return after[name] - before[name] }
+
+	if seals, runs := delta("mc.seen_seals"), delta("mc.spill_runs"); seals == 0 || runs == 0 {
+		b.Fatalf("spilling never engaged (seals=%d, spilled runs=%d): the state space fit the budget and the bench measured nothing — lower FENCEPLACE_BENCH_MEMCAP", seals, runs)
+	}
+	rate := float64(states) / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "states/s")
+	b.ReportMetric(float64(delta("mc.spill_bytes"))/float64(b.N)/(1<<20), "spill-MB/op")
+	if hits := delta("mc.seen_hot_hits") + delta("mc.seen_cold_hits"); hits > 0 {
+		b.ReportMetric(float64(delta("mc.seen_hot_hits"))/float64(hits), "hot-hit-ratio")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys)/(1<<20), "peak-heap-MB")
+	if runtime.GOMAXPROCS(0) >= 4 && rate < 1e6 {
+		b.Fatalf("capped-memory throughput %.2fM states/s on %d cores, want >=1M", rate/1e6, runtime.GOMAXPROCS(0))
 	}
 }
 

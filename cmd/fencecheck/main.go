@@ -67,6 +67,8 @@ func main() {
 		exact    = flag.Bool("exact", false, "exact string-keyed seen sets instead of fingerprints (slow oracle mode)")
 		unfenced = flag.Bool("unfenced", false, "certify the unfenced legacy build instead of the instrumented one")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
+		spillDir = flag.String("spill-dir", "", "scratch area for seen-set spill under -memcap (default $FENCEPLACE_SPILL_DIR; empty = keep sealed runs in RAM)")
+		memCap   = flag.Int("memcap", 0, "memory budget in arena words; the seen set spills past it (0 = default 1<<22, negative = uncapped)")
 		jsonOut  = flag.Bool("json", false, "emit the certification as a corpus Report row (JSON) instead of prose")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-openable) of the run")
 		metrics  = flag.Bool("metrics", false, "dump the final telemetry snapshot (JSON) to stderr on exit")
@@ -135,6 +137,12 @@ func main() {
 	}
 	if *cacheDir != "" {
 		opts = append(opts, fenceplace.WithCacheDir(*cacheDir))
+	}
+	if *spillDir != "" {
+		opts = append(opts, fenceplace.WithSpillDir(*spillDir))
+	}
+	if *memCap != 0 {
+		opts = append(opts, fenceplace.WithMemoryCap(*memCap))
 	}
 	// Pin the configuration (environment defaults included) once for the
 	// whole invocation.

@@ -55,6 +55,7 @@ func main() {
 		budget   = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
 		jobs     = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
+		spillDir = flag.String("spill-dir", "", "scratch area for seen-set spill (default $FENCEPLACE_SPILL_DIR; empty = keep sealed runs in RAM)")
 		shard    = flag.String("shard", "", "run only shard i/n of the corpus (e.g. 2/4); rows keep their unsharded index")
 		jsonOut  = flag.String("json", "", "write the run's corpus Report JSON to this file")
 		mergeIn  = flag.String("merge", "", "comma-separated report JSON files: skip analysis, merge them and render the requested tables")
@@ -123,6 +124,9 @@ func main() {
 		dir = os.Getenv("FENCEPLACE_CACHE_DIR")
 	}
 	opts := []fenceplace.Option{fenceplace.WithMaxStates(*budget), fenceplace.WithCacheDir(dir)}
+	if *spillDir != "" {
+		opts = append(opts, fenceplace.WithSpillDir(*spillDir))
+	}
 
 	var out *corpus.Report
 	var certRan bool

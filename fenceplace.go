@@ -386,9 +386,14 @@ type CertOptions struct {
 	MaxStates int64 // state budget per exploration; exceeded => error
 	Workers   int   // parallel exploration workers
 	BufferCap int   // TSO store-buffer capacity modeled (default 4)
-	MemoryCap int   // arena limit in words (default 1<<16)
+	MemoryCap int   // memory budget in arena words (default 1<<22; <0 uncapped)
 	ExactSeen bool  // exact string-keyed seen sets (slow oracle mode)
 	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
+
+	// SpillDir names the scratch area sealed seen-set runs spill to when
+	// an exploration outgrows the MemoryCap-derived seen-set budget (see
+	// WithSpillDir). Empty keeps sealed runs in RAM.
+	SpillDir string
 
 	// CacheDir names a persistent, content-addressed baseline store
 	// (internal/store): SC explorations are looked up there by canonical
@@ -428,6 +433,11 @@ func (o CertOptions) Options() []Option {
 		WithMemoryCap(o.MemoryCap),
 		WithCacheDir(o.EffectiveCacheDir()),
 	}
+	if o.SpillDir != "" {
+		// An unset SpillDir keeps the $FENCEPLACE_SPILL_DIR fallback alive
+		// (resolved once, like the cache directory).
+		opts = append(opts, WithSpillDir(o.SpillDir))
+	}
 	if o.ExactSeen {
 		opts = append(opts, WithExactSeen())
 	}
@@ -450,6 +460,7 @@ func (o CertOptions) MCConfig() mc.Config {
 		Workers:   o.Workers,
 		BufferCap: o.BufferCap,
 		MemoryCap: o.MemoryCap,
+		SpillDir:  o.SpillDir,
 		ExactSeen: o.ExactSeen,
 		NoPOR:     o.NoPOR,
 	}

@@ -32,8 +32,10 @@ func (k Key) String() string { return fmt.Sprintf("%016x%016x", k.Hi, k.Lo) }
 
 // keySchema versions the key preimage: bump it whenever the encoding below
 // (or the semantics it captures) changes, so stale store entries become
-// unreachable instead of wrongly served.
-const keySchema = 1
+// unreachable instead of wrongly served. Schema 2: the default MemoryCap
+// rose from 1<<16 to 1<<22 words and negative means uncapped — both move
+// where allocations fail, so schema-1 entries must not be served.
+const keySchema = 2
 
 // BaselineKey derives the canonical key of the SC baseline of (orig,
 // threadFns, cfg). The preimage covers every input that can change the
@@ -50,10 +52,12 @@ const keySchema = 1
 // Deliberately excluded: Mode (a baseline is by definition the SC
 // exploration), BufferCap (store buffers never engage under SC), Workers
 // and MaxStates (they shape the search, not the state space — a stored
-// baseline is always a complete exploration, valid under any budget), and
-// ExactSeen/NoPOR (oracle switches that differential tests pin to
-// identical outcome sets). Excluding them maximizes warm hits across
-// machines with different core counts and budgets.
+// baseline is always a complete exploration, valid under any budget),
+// SeenBudget/SpillDir (the two-level seen set changes where visited states
+// live, never which states are visited), and ExactSeen/NoPOR (oracle
+// switches that differential tests pin to identical outcome sets).
+// Excluding them maximizes warm hits across machines with different core
+// counts, budgets and disks.
 func BaselineKey(orig *ir.Program, threadFns []string, cfg Config) Key {
 	cfg = cfg.withDefaults()
 	orig.Finalize()

@@ -55,9 +55,9 @@ func TestBaselineKeyGolden(t *testing.T) {
 		threads []string
 		want    string
 	}{
-		{"sb-threads", sbProgram(), []string{"t0", "t1"}, "100aa9cb939c8c763942eb2fa60aa123"},
-		{"sb-main", sbProgram(), nil, "d8e32d6ea96f5228da14c650af85fe1c"},
-		{"spawny", spawnProgram(), nil, "f4a36fe19999035c5e5a831fe509ee6a"},
+		{"sb-threads", sbProgram(), []string{"t0", "t1"}, "c5b27df47b1a3c69efcd777ac7b4e8d9"},
+		{"sb-main", sbProgram(), nil, "7abb50e0905cc9c755a795a7d9dc9e22"},
+		{"spawny", spawnProgram(), nil, "7ffa828b409dba720d1d0daacf51634a"},
 	}
 	// Regenerate the vectors with `go test -run BaselineKeyGolden -v` after
 	// an intentional keySchema bump.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fenceplace/internal/ir"
+	"fenceplace/internal/store"
 	"fenceplace/internal/telemetry"
 	"fenceplace/internal/tso"
 )
@@ -31,23 +32,22 @@ var (
 	mTruncated     = telemetry.NewCounter("mc.truncated_runs")
 	mFrontierDepth = telemetry.NewHistogram("mc.frontier_depth")
 	mMemHeadroom   = telemetry.NewGauge("mc.memcap_headroom")
+
+	// Two-level seen-set metrics (see seen.go / spill.go). Hot/cold hits
+	// count probes answered by the in-RAM tier vs. sealed runs; seals,
+	// spill runs/bytes and quarantines describe the cold tier's life
+	// cycle; seal latency is the pause a worker takes to sort and encode
+	// a full hot tier.
+	mSeenHotHits      = telemetry.NewCounter("mc.seen_hot_hits")
+	mSeenColdHits     = telemetry.NewCounter("mc.seen_cold_hits")
+	mSeenSeals        = telemetry.NewCounter("mc.seen_seals")
+	mSpillRuns        = telemetry.NewCounter("mc.spill_runs")
+	mSpillBytes       = telemetry.NewCounter("mc.spill_bytes")
+	mSpillQuarantines = telemetry.NewCounter("mc.spill_quarantines")
+	mSealLatency      = telemetry.NewHistogram("mc.seal_latency_ns")
 )
 
 const nShards = 64 // seen-set shards; fine-grained locking for the pool
-
-// seenShard is one shard of the global seen set. The value stored per
-// state is the sleep mask the state has been covered for: a state needs
-// re-expansion only when it is reached with a sleep set that is not a
-// superset of the stored mask, and then only for the previously-slept
-// transitions (Godefroid's sleep sets with state matching). States are
-// keyed by 128-bit fingerprints of their canonical encoding (fps); the
-// exact string-keyed mode (m) survives behind Config.ExactSeen as a
-// cross-checking oracle.
-type seenShard struct {
-	mu  sync.Mutex
-	fps fpTable
-	m   map[string]uint32
-}
 
 // node is one frontier entry: a state plus the sleep-set context it was
 // reached with. revisit != 0 marks a re-expansion restricted to that
@@ -65,7 +65,13 @@ type engine struct {
 	fnIdx  map[*ir.Fn]int32
 	gwords int
 
-	shards    [nShards]seenShard
+	shards      [nShards]seenShard
+	shardBudget int64 // seen-set RAM budget per shard, in bytes
+	hotMaxSlots int   // hot-tier slot cap derived from the budget
+	spill       *store.Spill
+	spillChs    [nSpillGroups]chan spillItem
+	spillWG     sync.WaitGroup
+
 	visited   atomic.Int64
 	seen      atomic.Int64 // distinct states inserted into the seen set
 	truncated atomic.Bool
@@ -220,6 +226,7 @@ func newEngine(p *ir.Program, threadFns []string, cfg Config) (*engine, *state, 
 	for i, f := range p.Funcs {
 		e.fnIdx[f] = int32(i)
 	}
+	e.shardBudget, e.hotMaxSlots = seenBudget(cfg)
 
 	// Layout globals exactly like tso.Run: address 0 stays unused so a zero
 	// value is never a valid pointer.
@@ -281,6 +288,7 @@ func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Conf
 		return nil, err
 	}
 	cfg = e.cfg
+	e.startSpill()
 	e.inflight.Store(1)
 	e.handoff <- &node{s: init}
 
@@ -332,9 +340,14 @@ func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Conf
 	}
 	wg.Wait()
 	<-watchDone
+	e.finishSeen()
 	mSeenStates.Add(0, e.seen.Load())
 	if e.cfg.MemoryCap > 0 {
 		mMemHeadroom.Set(0, int64(e.cfg.MemoryCap)-maxMem.Load())
+	} else {
+		// Always write the gauge: an uncapped run must not leave a stale
+		// headroom value from an earlier capped run in the same process.
+		mMemHeadroom.Set(0, -1)
 	}
 
 	if e.err != nil {
@@ -556,9 +569,10 @@ func (e *engine) enqueue(w *workerCtx, s *state, sleep uint32) {
 		sh.mu.Unlock()
 	} else {
 		h := hash128(w.encBuf)
-		sh := &e.shards[h.hi%nShards]
+		si := int(h.hi % nShards)
+		sh := &e.shards[si]
 		sh.mu.Lock()
-		need, revisit = sh.fps.visit(h, sleep)
+		need, revisit = sh.visit(e, si, h, sleep)
 		sh.mu.Unlock()
 	}
 

@@ -117,67 +117,12 @@ func hash128(b []byte) h128 {
 	return h128{hi: h1, lo: h2}
 }
 
-// fpEntry is one slot of a fingerprint table: the state's fingerprint plus
-// the sleep mask it has been covered for (see seenShard). hi==lo==0 marks
-// an empty slot; visit remaps the (vanishingly unlikely) all-zero
-// fingerprint away from the marker.
+// fpEntry is one slot of the hot fingerprint tier (and the unit of a
+// sealed cold-tier run): the state's fingerprint plus the sleep mask it
+// has been covered for (see seenShard in seen.go). visit remaps the
+// (vanishingly unlikely) all-zero fingerprint away from the hot tier's
+// empty-slot marker.
 type fpEntry struct {
 	hi, lo uint64
 	sleep  uint32
-}
-
-// fpTable is an open-addressed, linear-probing fingerprint table. It is
-// not internally synchronized; each table is one shard guarded by its
-// shard's mutex.
-type fpTable struct {
-	entries []fpEntry
-	n       int
-}
-
-// visit runs the sleep-set seen protocol for a state fingerprint: it
-// returns whether the state needs (re-)expansion and, for re-expansions,
-// the mask of previously slept transitions to fire. The stored mask is
-// updated exactly like the exact-keyed mode's map entry.
-func (t *fpTable) visit(h h128, sleep uint32) (need bool, revisit uint32) {
-	if h.hi == 0 && h.lo == 0 {
-		h.lo = 1
-	}
-	if t.entries == nil {
-		t.entries = make([]fpEntry, 128)
-	} else if (t.n+1)*4 > len(t.entries)*3 {
-		t.grow()
-	}
-	mask := uint64(len(t.entries) - 1)
-	for i := h.lo & mask; ; i = (i + 1) & mask {
-		en := &t.entries[i]
-		if en.hi == 0 && en.lo == 0 {
-			*en = fpEntry{hi: h.hi, lo: h.lo, sleep: sleep}
-			t.n++
-			return true, 0
-		}
-		if en.hi == h.hi && en.lo == h.lo {
-			prev := en.sleep
-			if prev&^sleep == 0 {
-				return false, 0 // covered for a sleep set at least as permissive
-			}
-			en.sleep = prev & sleep
-			return true, prev &^ sleep
-		}
-	}
-}
-
-func (t *fpTable) grow() {
-	old := t.entries
-	t.entries = make([]fpEntry, 2*len(old))
-	mask := uint64(len(t.entries) - 1)
-	for _, en := range old {
-		if en.hi == 0 && en.lo == 0 {
-			continue
-		}
-		i := en.lo & mask
-		for t.entries[i].hi != 0 || t.entries[i].lo != 0 {
-			i = (i + 1) & mask
-		}
-		t.entries[i] = en
-	}
 }

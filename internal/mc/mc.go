@@ -59,14 +59,33 @@ type Config struct {
 	Mode      tso.Mode
 	BufferCap int   // store buffer capacity (default 4)
 	MaxStates int64 // state budget; exceeded => Truncated (default 1<<21)
-	MemoryCap int   // arena limit in words (default 1<<16)
 	Workers   int   // worker goroutines (default GOMAXPROCS)
 	NoPOR     bool  // disable partial-order reduction (cross-check oracle)
+
+	// MemoryCap is the per-state arena limit in words and the anchor of
+	// the exploration's memory budget: the two-level seen set derives its
+	// RAM allowance from it (8 bytes per word) unless SeenBudget overrides
+	// that. 0 means the default (1<<22 words); negative means uncapped.
+	MemoryCap int
+
+	// SeenBudget bounds the seen set's RAM in bytes. When a shard's share
+	// of the budget fills, its hot fingerprint tier is sealed into a
+	// sorted run and spilled to SpillDir in the background (see seen.go),
+	// so exploration proceeds under the cap instead of truncating. 0
+	// derives the budget from MemoryCap; negative disables the bound.
+	SeenBudget int64
+
+	// SpillDir is where sealed seen-set runs are written (a scratch spill
+	// area managed by internal/store, distinct from the baseline cache).
+	// Empty disables spilling: sealed runs then stay in RAM, keeping
+	// correctness but not the budget. SpillDir and SeenBudget do not
+	// affect exploration results, so neither is part of BaselineKey.
+	SpillDir string
 
 	// ExactSeen keys the seen set by full canonical state encodings
 	// instead of 128-bit fingerprints. Exact mode allocates one string per
 	// visited state; it exists as a cross-checking oracle for the
-	// fingerprint tables, not for production use.
+	// fingerprint tiers, not for production use.
 	ExactSeen bool
 }
 
@@ -85,7 +104,7 @@ func (c Config) withDefaults() Config {
 		c.MaxStates = 1 << 21
 	}
 	if c.MemoryCap == 0 {
-		c.MemoryCap = 1 << 16
+		c.MemoryCap = 1 << 22
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -559,7 +578,7 @@ func (e *engine) applyStep(s *state, tid int) error {
 		}
 	}
 	alloc := func(n int64) (int64, error) {
-		if len(s.mem)+int(n) > e.cfg.MemoryCap {
+		if e.cfg.MemoryCap > 0 && len(s.mem)+int(n) > e.cfg.MemoryCap {
 			return 0, fail("arena exhausted (%d words requested at %d)", n, len(s.mem))
 		}
 		addr := int64(len(s.mem))

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpillWriteOpenRoundTrip(t *testing.T) {
+	sp, err := NewSpillSession(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("run-bytes", 1000))
+	path, err := sp.Write(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, n, err := sp.OpenRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n != int64(len(payload)) {
+		t.Fatalf("payload length %d, want %d", n, len(payload))
+	}
+	got := make([]byte, 16)
+	if _, err := f.ReadAt(got, HeaderSize+8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[8:24]) {
+		t.Fatalf("ReadAt past header returned %q, want %q", got, payload[8:24])
+	}
+	// Sequential writes get distinct files.
+	p2, err := sp.Write(payload)
+	if err != nil || p2 == path {
+		t.Fatalf("second write: path %q (first %q), err %v", p2, path, err)
+	}
+}
+
+func TestSpillOpenRunQuarantinesCorruption(t *testing.T) {
+	for _, damage := range []struct {
+		name string
+		do   func(t *testing.T, path string)
+	}{
+		{"truncate", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 10); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitflip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 1
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(damage.name, func(t *testing.T) {
+			root := t.TempDir()
+			sp, err := NewSpillSession(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := sp.Write([]byte("precious fingerprints"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			damage.do(t, path)
+			if _, _, err := sp.OpenRun(path); err == nil {
+				t.Fatal("OpenRun accepted a corrupt run")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt run still at its original path")
+			}
+			quar, err := os.ReadDir(filepath.Join(root, "quarantine"))
+			if err != nil || len(quar) != 1 {
+				t.Fatalf("quarantine: %d files, err %v; want 1", len(quar), err)
+			}
+		})
+	}
+}
+
+func TestSpillGCReclaimsOrphansAndQuarantine(t *testing.T) {
+	root := t.TempDir()
+	// A stale session (crash orphan), a fresh session (live exploration),
+	// and a quarantined run.
+	stale, err := NewSpillSession(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Write([]byte("orphaned run")); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(stale.Dir(), old, old); err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewSpillSession(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	livePath, err := live.Write([]byte("live run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsess, err := NewSpillSession(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpath, err := qsess.Write([]byte("bad run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsess.Quarantine(qpath)
+	if err := qsess.Remove(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanSpillGC(root, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan lists %d items, want 2 (stale session + quarantined run): %+v", len(plan), plan)
+	}
+	for _, en := range plan {
+		if en.Path == live.Dir() {
+			t.Fatal("plan wants to remove the live session")
+		}
+		if en.Size <= 0 {
+			t.Errorf("plan entry %s has size %d", en.Path, en.Size)
+		}
+	}
+
+	removed, freed, err := SpillGC(root, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed <= 0 {
+		t.Fatalf("SpillGC removed %d items / %d bytes, want 2 / >0", removed, freed)
+	}
+	if _, err := os.Stat(stale.Dir()); !os.IsNotExist(err) {
+		t.Error("stale session survived GC")
+	}
+	if _, err := os.Stat(livePath); err != nil {
+		t.Error("live session's run did not survive GC")
+	}
+	// Idempotent.
+	if removed, _, _ := SpillGC(root, 24*time.Hour); removed != 0 {
+		t.Errorf("second SpillGC removed %d items", removed)
+	}
+	// A missing root is an empty plan, not an error (nothing ever spilled).
+	if plan, err := PlanSpillGC(filepath.Join(root, "nope"), time.Hour); err != nil || len(plan) != 0 {
+		t.Errorf("missing root: plan %v, err %v", plan, err)
+	}
+}
+
+func TestGCPlanMatchesGC(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	payload := []byte(strings.Repeat("p", 100))
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(s.Dir(), key(i)[:2], key(i)+".art"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := s.List()
+	perEntry := entries[0].Size
+
+	plan, err := s.GCPlan(2 * perEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 || plan[0].Key != key(0) || plan[1].Key != key(1) {
+		t.Fatalf("plan %+v, want the two oldest (key(0), key(1)) in eviction order", plan)
+	}
+	// The dry run removed nothing.
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("GCPlan evicted key(%d)", i)
+		}
+	}
+	// The real GC does exactly what the plan said.
+	evicted, freed, err := s.GC(2 * perEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != len(plan) || freed != 2*perEntry {
+		t.Fatalf("GC evicted %d / %d bytes, plan promised %d / %d", evicted, freed, len(plan), 2*perEntry)
+	}
+	// Within budget: empty plan, no error.
+	if plan, err := s.GCPlan(1 << 30); err != nil || len(plan) != 0 {
+		t.Errorf("under-budget plan %v, err %v; want empty", plan, err)
+	}
+	if _, err := s.GCPlan(-1); err == nil {
+		t.Error("GCPlan accepted a negative bound")
+	}
+}

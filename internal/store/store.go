@@ -198,8 +198,16 @@ func fnv1a64(b []byte) uint64 {
 	return h
 }
 
-// frame wraps payload in the on-disk entry format.
-func frame(payload []byte) []byte {
+// HeaderSize is the length of the magic+length+checksum prefix Frame
+// prepends; a framed file's payload begins at this offset.
+const HeaderSize = headerSize
+
+// Frame wraps payload in the store's on-disk format: magic+version, the
+// payload length, and an FNV-1a checksum, followed by the payload bytes.
+// It is exported so other disk surfaces (the model checker's spill area)
+// reuse the exact framing — and therefore the exact corruption-degrades-
+// to-a-miss guarantee — of the baseline store.
+func Frame(payload []byte) []byte {
 	buf := make([]byte, headerSize+len(payload))
 	copy(buf, magic[:])
 	binary.LittleEndian.PutUint64(buf[4:12], uint64(len(payload)))
@@ -208,10 +216,10 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
-// unframe verifies an entry file's framing and returns its payload, or
-// ok=false for any integrity failure (short file, bad magic or version,
-// length mismatch, checksum mismatch).
-func unframe(data []byte) (payload []byte, ok bool) {
+// Unframe verifies a framed file's header and checksum and returns its
+// payload, or ok=false for any integrity failure (short file, bad magic or
+// version, length mismatch, checksum mismatch).
+func Unframe(data []byte) (payload []byte, ok bool) {
 	if len(data) < headerSize || [4]byte(data[:4]) != magic {
 		return nil, false
 	}
@@ -238,7 +246,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		count(s.misses, gMisses, 1)
 		return nil, false
 	}
-	payload, ok := unframe(data)
+	payload, ok := Unframe(data)
 	if !ok {
 		s.Quarantine(key)
 		count(s.misses, gMisses, 1)
@@ -290,7 +298,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	tmpName := tmp.Name()
-	_, werr := tmp.Write(frame(payload))
+	_, werr := tmp.Write(Frame(payload))
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -383,7 +391,7 @@ func (s *Store) Verify() (ok int, bad []string, err error) {
 		if rerr != nil {
 			continue // removed concurrently: neither good nor bad
 		}
-		if _, valid := unframe(data); !valid {
+		if _, valid := Unframe(data); !valid {
 			s.Quarantine(en.Key)
 			bad = append(bad, en.Key)
 			continue
@@ -410,31 +418,57 @@ func (s *Store) GC(maxBytes int64) (evicted int, freed int64, err error) {
 	}
 	freed += s.purgeDir(filepath.Join(s.dir, quarDirName), 0)
 	freed += s.purgeDir(filepath.Join(s.dir, tmpDirName), staleTmpAge)
-	entries, err := s.List()
+	victims, err := s.evictionPlan(maxBytes)
 	if err != nil {
 		return 0, freed, err
+	}
+	for _, en := range victims {
+		if rerr := os.Remove(s.entryPath(en.Key)); rerr != nil && !os.IsNotExist(rerr) {
+			return evicted, freed, fmt.Errorf("store: gc: %w", rerr)
+		}
+		freed += en.Size
+		evicted++
+		count(s.evicted, gEvicted, 1)
+	}
+	return evicted, freed, nil
+}
+
+// GCPlan is the dry-run half of GC: it returns the live entries an
+// oldest-first GC bounded to maxBytes would evict, in eviction order,
+// without removing anything (quarantine and stale-temp reclamation are
+// unconditional in GC and not listed here — only live-entry evictions are
+// a judgment call worth previewing).
+func (s *Store) GCPlan(maxBytes int64) ([]Entry, error) {
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("store: gc: negative size bound %d", maxBytes)
+	}
+	return s.evictionPlan(maxBytes)
+}
+
+// evictionPlan selects the oldest live entries whose removal brings the
+// store's total entry bytes within maxBytes.
+func (s *Store) evictionPlan(maxBytes int64) ([]Entry, error) {
+	entries, err := s.List()
+	if err != nil {
+		return nil, err
 	}
 	var total int64
 	for _, en := range entries {
 		total += en.Size
 	}
 	if total <= maxBytes {
-		return 0, freed, nil
+		return nil, nil
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ModTime.Before(entries[j].ModTime) })
+	var victims []Entry
 	for _, en := range entries {
 		if total <= maxBytes {
 			break
 		}
-		if rerr := os.Remove(s.entryPath(en.Key)); rerr != nil && !os.IsNotExist(rerr) {
-			return evicted, freed, fmt.Errorf("store: gc: %w", rerr)
-		}
 		total -= en.Size
-		freed += en.Size
-		evicted++
-		count(s.evicted, gEvicted, 1)
+		victims = append(victims, en)
 	}
-	return evicted, freed, nil
+	return victims, nil
 }
 
 // purgeDir removes the plain files of dir older than minAge (zero: all of

@@ -35,6 +35,9 @@ type config struct {
 	cacheDir    string // persistent baseline store directory ("" = none)
 	cacheDirSet bool   // WithCacheDir was given; skip the env default
 
+	spillDir    string // seen-set spill area ("" = keep sealed runs in RAM)
+	spillDirSet bool   // WithSpillDir was given; skip the env default
+
 	progress      func(ProgressEvent) // streaming progress sink (nil = none)
 	progressEvery time.Duration       // heartbeat interval (0 = default 250ms)
 }
@@ -56,6 +59,9 @@ func resolve(opts []Option) config {
 		// value instead of consulting the environment again.
 		c.cacheDir, c.cacheDirSet = os.Getenv("FENCEPLACE_CACHE_DIR"), true
 	}
+	if !c.spillDirSet {
+		c.spillDir, c.spillDirSet = os.Getenv("FENCEPLACE_SPILL_DIR"), true
+	}
 	return c
 }
 
@@ -68,6 +74,7 @@ func (c config) mcConfig() mc.Config {
 		Workers:   c.workers,
 		BufferCap: c.bufferCap,
 		MemoryCap: c.memoryCap,
+		SpillDir:  c.spillDir,
 		ExactSeen: c.exactSeen,
 		NoPOR:     c.noPOR,
 	}
@@ -119,10 +126,26 @@ func WithBufferCap(n int) Option {
 	return func(c *config) { c.bufferCap = n }
 }
 
-// WithMemoryCap sets the model checker's arena limit in words (default
-// 1<<16).
+// WithMemoryCap sets the model checker's memory budget: the per-state
+// arena limit in words (default 1<<22) and, through it, the RAM allowance
+// of the seen set (8 bytes per word) — once the seen set crosses that
+// allowance, cold fingerprints are sealed and spilled to the WithSpillDir
+// area instead of truncating the exploration. n < 0 removes the cap.
 func WithMemoryCap(n int) Option {
 	return func(c *config) { c.memoryCap = n }
+}
+
+// WithSpillDir names the scratch area where the model checker's sealed
+// seen-set runs are written when an exploration outgrows its memory
+// budget (see WithMemoryCap). The empty string disables spilling
+// explicitly — unlike omitting the option, which falls back to
+// $FENCEPLACE_SPILL_DIR (read once, when the option list is resolved).
+// Without a spill directory, sealed runs stay in RAM: results are
+// identical, only the budget is no longer honored. The area is distinct
+// from the WithCacheDir baseline store; `fencecache gc -spill DIR`
+// reclaims sessions orphaned by crashes.
+func WithSpillDir(dir string) Option {
+	return func(c *config) { c.spillDir, c.spillDirSet = dir, true }
 }
 
 // Resolved returns an option list equivalent to opts with every
