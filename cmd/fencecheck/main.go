@@ -69,6 +69,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
 		spillDir = flag.String("spill-dir", "", "scratch area for seen-set spill under -memcap (default $FENCEPLACE_SPILL_DIR; empty = keep sealed runs in RAM)")
 		memCap   = flag.Int("memcap", 0, "memory budget in arena words; the seen set spills past it (0 = default 1<<22, negative = uncapped)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole run; exceeding it aborts with the inconclusive exit code 2 (0 = none)")
 		jsonOut  = flag.Bool("json", false, "emit the certification as a corpus Report row (JSON) instead of prose")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-openable) of the run")
 		metrics  = flag.Bool("metrics", false, "dump the final telemetry snapshot (JSON) to stderr on exit")
@@ -78,6 +79,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *deadline > 0 {
+		// The deadline bounds wall-clock, not states: a stuck disk or an
+		// oversized exploration ends in the inconclusive exit code instead
+		// of a hang. Cancellation wins against I/O retries within ~100ms.
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(ctx, *deadline)
+		defer cancelDeadline()
+	}
 
 	// Telemetry cleanup must precede every os.Exit (which skips defers):
 	// the trace file is only valid JSON once finalized, and the -metrics
@@ -223,6 +232,10 @@ func runText(ctx context.Context, prog *fenceplace.Program, strategies []fencepl
 			if errors.Is(err, fenceplace.ErrTruncated) {
 				fmt.Fprintf(os.Stderr, "inconclusive: %v\n", err)
 				fmt.Fprintln(os.Stderr, "raise -budget or shrink -threads/-size to close the state space")
+				return exitError
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "inconclusive: -deadline exceeded before certification finished")
 				return exitError
 			}
 			fmt.Fprintln(os.Stderr, err)

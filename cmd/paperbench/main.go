@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "simulator seeds averaged in Figure 10")
 		cert     = flag.Bool("cert", false, "certification column: model-check SC-equivalence of every placement")
 		budget   = flag.Int64("certbudget", 1<<21, "model-checker state budget per exploration")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole run; exceeding it aborts with the inconclusive exit code 2 (0 = none)")
 		jobs     = flag.Int("j", 0, "corpus analysis workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent certification-baseline store (default $FENCEPLACE_CACHE_DIR; empty = no persistence)")
 		spillDir = flag.String("spill-dir", "", "scratch area for seen-set spill (default $FENCEPLACE_SPILL_DIR; empty = keep sealed runs in RAM)")
@@ -67,6 +69,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *deadline > 0 {
+		// The deadline bounds wall-clock, not states: a stuck disk or an
+		// oversized corpus run ends in the inconclusive exit code instead
+		// of a hang. Cancellation wins against I/O retries within ~100ms.
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(ctx, *deadline)
+		defer cancelDeadline()
+	}
 
 	// Observability surfaces. exit (below) runs the cleanup — trace-file
 	// finalization, metrics dump — before os.Exit, which would skip defers;
@@ -139,7 +149,7 @@ func main() {
 		rep, err := runCert(ctx, shardI, shardN, *jobs, opts, dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			exit(1)
+			exit(failCode(err))
 		}
 		out = rep
 		certRan = true
@@ -159,7 +169,7 @@ func main() {
 		rep, err := runner.Run(ctx, src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			exit(1)
+			exit(failCode(err))
 		}
 		out = rep
 		renderFigures(rep, all, *fig7, *fig8, *fig9, *fig10, *manual)
@@ -183,6 +193,17 @@ func main() {
 			exit(1)
 		}
 	}
+}
+
+// failCode maps a run-ending error to an exit status: a blown -deadline
+// is the inconclusive/truncated code 2 (no verdict, like an exhausted
+// state budget), anything else is the plain failure code 1.
+func failCode(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "inconclusive: -deadline exceeded before the run finished")
+		return 2
+	}
+	return 1
 }
 
 // parseShard parses "i/n" (empty: unsharded, n = 0).

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fenceplace"
+	"fenceplace/internal/mc"
 	"fenceplace/internal/orders"
 	"fenceplace/internal/par"
 	"fenceplace/internal/telemetry"
@@ -156,8 +157,17 @@ func (r *Runner) Stream(ctx context.Context, src Source, emit func(Row) error) e
 
 // runOne drives one program through analysis, verification, the dynamic
 // experiment and certification, producing its plain-data row.
-func (r *Runner) runOne(ctx context.Context, src Source, i int, strategies []fenceplace.Strategy, opts, innerOpts []fenceplace.Option) (*Row, error) {
+func (r *Runner) runOne(ctx context.Context, src Source, i int, strategies []fenceplace.Strategy, opts, innerOpts []fenceplace.Option) (row *Row, err error) {
 	name := src.Name(i)
+	// One program's panic costs one row, not the sweep: the recovered
+	// panic becomes this row's error (a structured InternalError), and
+	// sibling rows — including in-flight ones on other pool goroutines —
+	// run to completion.
+	defer func() {
+		if rec := recover(); rec != nil {
+			row, err = nil, fmt.Errorf("%s: %w", name, mc.AsInternalError("corpus: row "+name, rec))
+		}
+	}()
 	index := i
 	if ix, ok := src.(indexed); ok {
 		index = ix.origIndex(i)
@@ -182,7 +192,7 @@ func (r *Runner) runOne(ctx context.Context, src Source, i int, strategies []fen
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 
-	row := &Row{Index: index, Program: name, EscReads: results[0].EscapingReads}
+	row = &Row{Index: index, Program: name, EscReads: results[0].EscapingReads}
 
 	if manual := src.BuildManual(i); manual != nil {
 		full, _ := manual.CountFences(false)

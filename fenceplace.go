@@ -174,7 +174,14 @@ func (a *Analyzer) Analyze(s Strategy) *Result {
 // further pass work and returns ctx's error. Passes that completed before
 // the cancellation stay memoized in the session — they are valid artifacts
 // and a retry resumes past them.
-func (a *Analyzer) AnalyzeCtx(ctx context.Context, s Strategy) (*Result, error) {
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, s Strategy) (res *Result, err error) {
+	// A panic below — the session's pass fan-out re-raises pool-goroutine
+	// panics on this goroutine — costs exactly this call, not the process.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, mc.AsInternalError("fenceplace: analyze", r)
+		}
+	}()
 	sess := a.sess
 	st := strategyOf(s)
 	if err := ctx.Err(); err != nil {
@@ -186,7 +193,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, s Strategy) (*Result, error) 
 	}
 	plan := sess.Plan(st)
 
-	res := &Result{
+	res = &Result{
 		Strategy:           s,
 		Prog:               sess.Program(),
 		EscapingReads:      sess.Escape().CountReads(),
@@ -475,6 +482,15 @@ type CertBaseline = mc.Baseline
 // verdict is then unknown, never "equivalent".
 var ErrTruncated = mc.ErrTruncated
 
+// InternalError is a panic recovered from the pipeline's worker pools (an
+// exploration worker, the per-function pass fan-out) or the facade itself,
+// returned as the failing call's error instead of crashing the process.
+// Sibling jobs and other analyzers are unaffected. Match with errors.As:
+//
+//	var ie *fenceplace.InternalError
+//	if errors.As(err, &ie) { log.Printf("panic: %v\n%s", ie.Panic, ie.Stack) }
+type InternalError = mc.InternalError
+
 // Certify model-checks an analysis result: it explores every interleaving
 // (and store-buffer drain schedule) of the instrumented program under
 // x86-TSO and of the original program under SC, and reports whether the
@@ -517,7 +533,12 @@ func CertifyOpt(res *Result, threads []string, opt CertOptions) (*CertReport, er
 // of finishing, no baseline is written back to the store, and the
 // session's in-memory memo drops the cancelled attempt so a later call
 // with a live context retries.
-func CertifyCtx(ctx context.Context, res *Result, threads []string, opts ...Option) (*CertReport, error) {
+func CertifyCtx(ctx context.Context, res *Result, threads []string, opts ...Option) (rep *CertReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, mc.AsInternalError("fenceplace: certify", r)
+		}
+	}()
 	var c config
 	if len(opts) == 0 && res.cfgOK {
 		c = res.cfg
@@ -559,7 +580,12 @@ func (a *Analyzer) Baseline(threads []string, opt CertOptions) (*CertBaseline, e
 // certification out over variants — or over expert builds of the same
 // program that no Result carries — pair it with mc.CertifyAgainst via
 // CertifyCtx's session reuse or internal tooling.
-func (a *Analyzer) BaselineCtx(ctx context.Context, threads []string, opts ...Option) (*CertBaseline, error) {
+func (a *Analyzer) BaselineCtx(ctx context.Context, threads []string, opts ...Option) (base *CertBaseline, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			base, err = nil, mc.AsInternalError("fenceplace: baseline", r)
+		}
+	}()
 	c := a.cfg
 	if len(opts) > 0 {
 		c = resolve(opts)
@@ -573,7 +599,12 @@ func (a *Analyzer) BaselineCtx(ctx context.Context, threads []string, opts ...Op
 // exploration, with the SC side served from the memo (or the persistent
 // store) like every other certification of this analyzer. With no options
 // given, the analyzer's construction-time options apply.
-func (a *Analyzer) CertifyProgramCtx(ctx context.Context, inst *Program, threads []string, opts ...Option) (*CertReport, error) {
+func (a *Analyzer) CertifyProgramCtx(ctx context.Context, inst *Program, threads []string, opts ...Option) (rep *CertReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, mc.AsInternalError("fenceplace: certify program", r)
+		}
+	}()
 	c := a.cfg
 	if len(opts) > 0 {
 		c = resolve(opts)

@@ -1,0 +1,211 @@
+package fsx
+
+import (
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		syscall.EIO,
+		syscall.EINTR,
+		syscall.EAGAIN,
+		syscall.EBUSY,
+		io.ErrShortWrite,
+		&os.PathError{Op: "read", Path: "x", Err: syscall.EIO},
+	}
+	for _, err := range transient {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		syscall.ENOSPC,
+		fs.ErrNotExist,
+		fs.ErrPermission,
+		ErrCrashed,
+		&os.PathError{Op: "open", Path: "x", Err: syscall.ENOENT},
+		errors.New("opaque"),
+	}
+	for _, err := range permanent {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+	// An injected fault wraps a real errno, so one classification covers
+	// injected and genuine failures.
+	f := NewFaultFS(OS, FaultConfig{Seed: 1, EIO: 1})
+	if err := f.Remove(filepath.Join(t.TempDir(), "x")); !Transient(err) {
+		t.Errorf("injected EIO not classified transient: %v", err)
+	}
+}
+
+// TestFaultFSDeterministic pins the injector's core contract: the same
+// seed and rates replay the same fault schedule over the same operation
+// sequence.
+func TestFaultFSDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, EIO: 0.3, ENOSPC: 0.1, RenameFail: 0.2}
+	run := func() []string {
+		dir := t.TempDir()
+		f := NewFaultFS(OS, cfg)
+		var got []string
+		for i := 0; i < 64; i++ {
+			name := filepath.Join(dir, "f")
+			err := f.WriteFile(name, []byte("payload"), 0o644)
+			got = append(got, errClass(err))
+			err = f.Rename(name, name+".2")
+			got = append(got, errClass(err))
+			_, err = f.ReadFile(name + ".2")
+			got = append(got, errClass(err))
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	case errors.Is(err, io.ErrShortWrite):
+		return "short"
+	case errors.Is(err, ErrCrashed):
+		return "crashed"
+	case errors.Is(err, fs.ErrNotExist):
+		// A real miss following an injected fault (e.g. rename of a file
+		// whose write was suppressed): deterministic, but path-dependent
+		// in its message.
+		return "noent"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+func TestFaultFSCrashAfter(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS, FaultConfig{CrashAfter: 3})
+	for i := 0; i < 3; i++ {
+		if err := f.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+			t.Fatalf("op %d before the crash failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		err := f.WriteFile(filepath.Join(dir, "b"), []byte("x"), 0o644)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("op %d after the crash: err = %v, want ErrCrashed", i, err)
+		}
+		if Transient(err) {
+			t.Fatal("a crashed disk must be permanent, not transient")
+		}
+	}
+}
+
+// TestFaultFSShortWritePersistsPrefix pins the torn-file behavior: a
+// short write leaves the prefix on disk (what a real crash leaves for the
+// framing layer to catch) and reports io.ErrShortWrite.
+func TestFaultFSShortWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS, FaultConfig{Seed: 7, ShortWrite: 1, MaxInjected: 1})
+	name := filepath.Join(dir, "torn")
+	payload := []byte("0123456789abcdef")
+	err := f.WriteFile(name, payload, 0o644)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	got, rerr := os.ReadFile(name)
+	if rerr != nil {
+		t.Fatalf("torn file unreadable: %v", rerr)
+	}
+	if len(got) >= len(payload) || string(got) != string(payload[:len(got)]) {
+		t.Fatalf("torn file holds %q, want a strict prefix of %q", got, payload)
+	}
+	// MaxInjected spent: the next write goes through whole.
+	if err := f.WriteFile(name, payload, 0o644); err != nil {
+		t.Fatalf("write after MaxInjected: %v", err)
+	}
+	if got, _ := os.ReadFile(name); string(got) != string(payload) {
+		t.Fatalf("recovered write holds %q, want %q", got, payload)
+	}
+}
+
+func TestRetryDoRetriesTransientThenSucceeds(t *testing.T) {
+	calls := 0
+	retries, err := RetryPolicy{Base: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		if calls <= 2 {
+			return syscall.EIO
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("got retries=%d calls=%d err=%v, want 2/3/nil", retries, calls, err)
+	}
+}
+
+func TestRetryDoPermanentFailsImmediately(t *testing.T) {
+	calls := 0
+	retries, err := RetryPolicy{}.Do(context.Background(), func() error {
+		calls++
+		return syscall.ENOSPC
+	})
+	if !errors.Is(err, syscall.ENOSPC) || retries != 0 || calls != 1 {
+		t.Fatalf("got retries=%d calls=%d err=%v, want 0/1/ENOSPC", retries, calls, err)
+	}
+}
+
+func TestRetryDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	retries, err := RetryPolicy{Retries: 3, Base: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		return syscall.EIO
+	})
+	if !errors.Is(err, syscall.EIO) || retries != 3 || calls != 4 {
+		t.Fatalf("got retries=%d calls=%d err=%v, want 3/4/EIO", retries, calls, err)
+	}
+	retries, err = RetryPolicy{Retries: -1}.Do(context.Background(), func() error {
+		return syscall.EIO
+	})
+	if !errors.Is(err, syscall.EIO) || retries != 0 {
+		t.Fatalf("negative Retries: got retries=%d err=%v, want 0/EIO", retries, err)
+	}
+}
+
+// TestRetryDoCancellationWins pins the ladder's latency guarantee: a
+// cancelled context stops the retry loop within one capped backoff sleep
+// (well under 100ms), even when the operation keeps failing transiently.
+func TestRetryDoCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	_, err := RetryPolicy{Retries: 1 << 20, Base: 10 * time.Millisecond, Cap: 20 * time.Millisecond}.
+		Do(ctx, func() error {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+			return syscall.EIO
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 100ms", elapsed)
+	}
+}

@@ -1,0 +1,96 @@
+package fsx
+
+// Bounded retry with exponential backoff and jitter — the one retry
+// policy of the persistence layers. Only Transient errors are retried;
+// permanent failures return immediately so the caller can degrade.
+// Backoff sleeps are context-aware and individually capped well under
+// 100ms, so a cancelled certification stops waiting on a sick disk
+// within one sleep.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds the retry loop. The zero value means the defaults
+// noted per field.
+type RetryPolicy struct {
+	// Retries is how many times a transiently failing operation is
+	// re-attempted after its first failure: 0 means the default (2),
+	// negative disables retrying.
+	Retries int
+	// Base is the first backoff sleep (default 500µs); each retry
+	// doubles it.
+	Base time.Duration
+	// Cap bounds every individual sleep (default 20ms) — the guarantee
+	// that cancellation wins within 100ms even mid-backoff.
+	Cap time.Duration
+}
+
+const (
+	defaultRetries = 2
+	defaultBase    = 500 * time.Microsecond
+	defaultCap     = 20 * time.Millisecond
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	switch {
+	case p.Retries == 0:
+		p.Retries = defaultRetries
+	case p.Retries < 0:
+		p.Retries = 0
+	}
+	if p.Base <= 0 {
+		p.Base = defaultBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = defaultCap
+	}
+	return p
+}
+
+// jitterState seeds the backoff jitter; a process-wide splitmix64 walk is
+// enough — jitter decorrelates concurrent retriers, it carries no
+// semantics.
+var jitterState atomic.Uint64
+
+func jitter() uint64 {
+	z := jitterState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Do runs op, re-attempting transient failures under the policy. It
+// returns the number of retries performed and op's final error: nil on
+// success, the permanent error that stopped the loop, the transient
+// error that survived every attempt, or ctx's error when cancellation
+// won a backoff sleep. The caller meters retries and give-ups.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) (retries int, err error) {
+	p = p.withDefaults()
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return retries, cerr
+		}
+		err = op()
+		if err == nil || !Transient(err) || attempt >= p.Retries {
+			return retries, err
+		}
+		retries++
+		d := p.Base << uint(attempt)
+		if d > p.Cap {
+			d = p.Cap
+		}
+		// Full jitter in [d/2, d): staggers concurrent retriers without
+		// losing the exponential shape.
+		d = d/2 + time.Duration(jitter()%uint64(d/2+1))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return retries, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

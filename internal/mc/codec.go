@@ -54,10 +54,11 @@ const keySchema = 2
 // and MaxStates (they shape the search, not the state space — a stored
 // baseline is always a complete exploration, valid under any budget),
 // SeenBudget/SpillDir (the two-level seen set changes where visited states
-// live, never which states are visited), and ExactSeen/NoPOR (oracle
-// switches that differential tests pin to identical outcome sets).
-// Excluding them maximizes warm hits across machines with different core
-// counts, budgets and disks.
+// live, never which states are visited), FS/IORetries (how disk I/O is
+// performed and retried can cost re-exploration, never change the state
+// space), and ExactSeen/NoPOR (oracle switches that differential tests pin
+// to identical outcome sets). Excluding them maximizes warm hits across
+// machines with different core counts, budgets and disks.
 func BaselineKey(orig *ir.Program, threadFns []string, cfg Config) Key {
 	cfg = cfg.withDefaults()
 	orig.Finalize()

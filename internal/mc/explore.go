@@ -363,6 +363,9 @@ func ExploreCtx(ctx context.Context, p *ir.Program, threadFns []string, cfg Conf
 	}
 	if res.Truncated {
 		mTruncated.Inc(0)
+		// The last rung of the degradation ladder: the budget is truly
+		// exhausted and the verdict is explicitly three-valued.
+		store.NoteDegraded(store.DegradeTruncated)
 	}
 	if telemetry.TraceEnabled() {
 		telemetry.Emit(telemetry.Span{
@@ -416,7 +419,7 @@ func (e *engine) worker(w *workerCtx) {
 				return
 			}
 		}
-		e.expand(w, n)
+		e.expandSafe(w, n)
 		// The node and its state are dead once expanded (children are
 		// cloned, outcomes copied): recycle both.
 		w.putState(n.s)
@@ -436,6 +439,30 @@ func (e *engine) worker(w *workerCtx) {
 			}
 		}
 	}
+}
+
+// TestHookExpand, when non-nil, runs at the top of every state expansion
+// with the running visited count — the chaos suite's seam for injecting a
+// worker panic mid-exploration. It executes inside expandSafe's recover
+// scope, once per state, outside the per-transition hot loop.
+var TestHookExpand func(visited int64)
+
+// expandSafe isolates one state expansion: a panic anywhere below
+// (including the test hook) is recovered into a structured InternalError
+// and turned into an engine failure, which drains the frontier exactly
+// like cancellation does. The worker then retires the node normally, so
+// inflight accounting and freelists stay consistent — the pool drains
+// cleanly, sibling explorations keep running, and the process never dies.
+func (e *engine) expandSafe(w *workerCtx, n *node) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(AsInternalError("mc: exploration worker", r))
+		}
+	}()
+	if TestHookExpand != nil {
+		TestHookExpand(e.visited.Load())
+	}
+	e.expand(w, n)
 }
 
 func (e *engine) fail(err error) {

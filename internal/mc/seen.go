@@ -42,6 +42,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"fenceplace/internal/store"
 )
 
 const (
@@ -111,6 +113,11 @@ type seenShard struct {
 	runs    []*run
 	filter  cuckoo
 	coldRAM int64 // bytes of run data not yet spilled + run indexes
+
+	// spill is the engine's spill session (nil when spilling is off); the
+	// filter-rebuild path re-reads whole runs through it so spilled-run
+	// I/O stays behind the fsx seam.
+	spill *store.Spill
 
 	// Per-shard scratch reused across seals and spilled-block reads.
 	sealBuf  []fpEntry
@@ -322,7 +329,7 @@ func cuckooFP(h h128) uint16 {
 func (c *cuckoo) buckets(h h128) (uint32, uint32) {
 	nb := uint32(len(c.slots) / 4)
 	b1 := uint32(h.lo>>32) & (nb - 1)
-	b2 := b1 ^ (uint32(cuckooFP(h))*0x5bd1e995)&(nb - 1)
+	b2 := b1 ^ (uint32(cuckooFP(h))*0x5bd1e995)&(nb-1)
 	return b1, b2
 }
 
@@ -411,7 +418,7 @@ func (c *cuckoo) tryInsert(h h128, id uint16, seed *uint64) bool {
 		*seed = *seed*6364136223846793005 + 1442695040888963407
 		s := b*4 + uint32(*seed>>61)&3
 		c.slots[s], v = v, c.slots[s]
-		b = (s / 4) ^ ((v>>16)*0x5bd1e995)&(nb - 1)
+		b = (s / 4) ^ ((v>>16)*0x5bd1e995)&(nb-1)
 		for t := b * 4; t < b*4+4; t++ {
 			if c.slots[t] == 0 {
 				c.slots[t] = v

@@ -17,8 +17,8 @@ package mc
 
 import (
 	"encoding/binary"
-	"os"
 
+	"fenceplace/internal/fsx"
 	"fenceplace/internal/store"
 )
 
@@ -39,7 +39,7 @@ type run struct {
 
 	data []byte   // encoded blocks; nil once spilled
 	path string   // spill file; "" while in RAM
-	f    *os.File // lazily opened spilled file
+	f    fsx.File // lazily opened spilled file
 	bad  bool     // quarantined: all probes miss
 }
 
@@ -199,12 +199,11 @@ func (sh *seenShard) runEntries(r *run) ([]fpEntry, error) {
 	data := r.data
 	if data == nil {
 		// Re-read the whole payload; rebuilds are rare (filter doublings).
-		raw, err := os.ReadFile(r.path)
-		if err != nil || len(raw) < store.HeaderSize {
+		if sh.spill == nil {
 			return nil, errBadRun
 		}
-		payload, ok := store.Unframe(raw)
-		if !ok {
+		payload, err := sh.spill.ReadRunPayload(r.path)
+		if err != nil {
 			return nil, errBadRun
 		}
 		data = payload
@@ -301,8 +300,22 @@ func (e *engine) spillEnqueue(sh *seenShard, si int, r *run) {
 func (e *engine) spiller(ch chan spillItem) {
 	defer e.spillWG.Done()
 	for it := range ch {
-		e.spillRun(it.sh, it.si, it.r)
+		e.spillRunSafe(it.sh, it.si, it.r)
 	}
+}
+
+// spillRunSafe isolates one run's disk write: a panic in the spill path
+// is recorded like a worker panic, and the run simply stays in RAM (the
+// seal-in-RAM rung) — a background writer must never take down an
+// exploration that is correct without it.
+func (e *engine) spillRunSafe(sh *seenShard, si int, r *run) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			AsInternalError("mc: spiller", rec)
+			store.NoteSealInRAM()
+		}
+	}()
+	e.spillRun(sh, si, r)
 }
 
 // spillRun writes one run through the store's framing and swaps the run's
@@ -317,7 +330,10 @@ func (e *engine) spillRun(sh *seenShard, si int, r *run) {
 	}
 	path, err := e.spill.Write(data)
 	if err != nil {
-		return // disk trouble: the run stays in RAM, correctness unharmed
+		// Disk trouble the retries could not outlast: the run stays in
+		// RAM, correctness unharmed — the seal-in-RAM degradation rung.
+		store.NoteSealInRAM()
+		return
 	}
 	sh.mu.Lock()
 	r.path = path
@@ -330,17 +346,24 @@ func (e *engine) spillRun(sh *seenShard, si int, r *run) {
 
 // startSpill creates the spill session and spiller pool for an
 // exploration, when cfg.SpillDir asks for one. Spill-session failure is
-// reported once and disables spilling (runs stay in RAM) rather than
-// failing the exploration.
+// metered once (the seal-in-RAM rung) and disables spilling — runs stay
+// in RAM — rather than failing the exploration.
 func (e *engine) startSpill() {
 	if e.cfg.SpillDir == "" {
 		return
 	}
-	sp, err := store.NewSpillSession(e.cfg.SpillDir)
+	sp, err := store.NewSpillSessionConfig(e.cfg.SpillDir, store.Config{
+		FS:      e.cfg.FS,
+		Retries: e.cfg.IORetries,
+	})
 	if err != nil {
+		store.NoteSealInRAM()
 		return
 	}
 	e.spill = sp
+	for i := range e.shards {
+		e.shards[i].spill = sp
+	}
 	for i := range e.spillChs {
 		e.spillChs[i] = make(chan spillItem, 256)
 		e.spillWG.Add(1)

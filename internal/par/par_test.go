@@ -5,6 +5,47 @@ import (
 	"testing"
 )
 
+// TestForEachCapturesWorkerPanic pins the panic contract: a panic in a
+// pool goroutine is re-raised on the caller's goroutine as a *PanicError
+// carrying the original value and stack, instead of killing the process.
+func TestForEachCapturesWorkerPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("PanicError.Value = %v, want boom", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("PanicError.Stack is empty")
+		}
+	}()
+	ForEach(64, 4, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+// TestForEachInlinePanicPropagates pins the serial path: with one worker
+// the caller's frame is live, so the panic value propagates unwrapped.
+func TestForEachInlinePanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want the raw panic value", r)
+		}
+	}()
+	ForEach(3, 1, func(i int) {
+		if i == 1 {
+			panic("inline")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 8, 100} {
 		for _, n := range []int{0, 1, 7, 64} {

@@ -199,13 +199,25 @@ func (s *Session) Timings() []Timing {
 	return out
 }
 
+// TestHookForEachFn, when non-nil, runs before every function's work in
+// the per-function fan-out — the chaos suite's seam for injecting a
+// pass-layer panic. The pool captures the panic and re-raises it on the
+// calling goroutine, where the facade's recover turns it into a
+// structured InternalError on that one job's result.
+var TestHookForEachFn func(i int, f *ir.Fn)
+
 // forEachFn runs work over every function of the program, fanning out over
 // the session's worker pool. work receives the function's position, so
 // results can be written into preallocated per-function slots without
 // locking; it must not touch other shared mutable state.
 func (s *Session) forEachFn(work func(i int, f *ir.Fn)) {
 	fns := s.prog.Funcs
-	par.ForEach(len(fns), s.workers, func(i int) { work(i, fns[i]) })
+	par.ForEach(len(fns), s.workers, func(i int) {
+		if TestHookForEachFn != nil {
+			TestHookForEachFn(i, fns[i])
+		}
+		work(i, fns[i])
+	})
 }
 
 // Alias returns the memoized whole-program points-to analysis.
@@ -483,7 +495,15 @@ func LoadOrExploreBaselineCtx(ctx context.Context, p *ir.Program, threadFns []st
 	var st *store.Store
 	var key string
 	if cacheDir != "" {
-		if st, _ = store.Open(cacheDir); st != nil {
+		var serr error
+		st, serr = store.OpenConfig(cacheDir, store.Config{FS: ncfg.FS, Retries: ncfg.IORetries})
+		if serr != nil {
+			// The cache directory is unusable (unwritable, unreachable):
+			// the first rung of the degradation ladder — certify uncached.
+			store.NoteUncached()
+			st = nil
+		}
+		if st != nil {
 			key = mc.BaselineKey(p, threadFns, ncfg).String()
 			if data, ok := st.GetCtx(ctx, key); ok {
 				if b, err := mc.UnmarshalBaseline(p, threadFns, ncfg, data); err == nil {
@@ -503,7 +523,12 @@ func LoadOrExploreBaselineCtx(ctx context.Context, p *ir.Program, threadFns []st
 	}
 	if st != nil {
 		if data, merr := b.MarshalBinary(); merr == nil {
-			_ = st.PutCtx(ctx, key, data) // best-effort write-back
+			// Best-effort write-back; a failure on a live ctx means the
+			// cache could not absorb this baseline — the next run pays a
+			// cold exploration, so meter the uncached rung.
+			if perr := st.PutCtx(ctx, key, data); perr != nil && ctx.Err() == nil {
+				store.NoteUncached()
+			}
 		}
 	}
 	return b, false, nil

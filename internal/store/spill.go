@@ -16,8 +16,14 @@ package store
 // the store's magic+length+checksum framing, so a truncated or bit-flipped
 // run degrades to an all-miss cold tier — never to a false "seen" — and
 // the offending file moves to quarantine/ for post-mortem.
+//
+// Like the store, a session routes all I/O through an fsx.FS and retries
+// transient failures under the bounded policy; a write that fails every
+// attempt surfaces to the engine, which keeps the run in RAM (the
+// seal-in-RAM degradation rung) rather than lose it.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +31,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"fenceplace/internal/fsx"
 )
 
 const (
@@ -37,27 +45,61 @@ const (
 // spill root where sealed runs are written. Write and OpenRun are safe for
 // concurrent use by the engine's spiller goroutines.
 type Spill struct {
-	root string
-	dir  string
-	seq  atomic.Uint64
+	root   string
+	dir    string
+	fs     fsx.FS
+	policy fsx.RetryPolicy
+	seq    atomic.Uint64
 }
 
 // NewSpillSession creates a fresh session directory under root (creating
 // root and its quarantine subdirectory as needed) and returns the handle
-// runs are written through.
+// runs are written through, using the real OS and default retries.
 func NewSpillSession(root string) (*Spill, error) {
+	return NewSpillSessionConfig(root, Config{})
+}
+
+// NewSpillSessionConfig is NewSpillSession with disk-access
+// configuration: the fault-injection seam of the chaos suite, and the
+// retry bound shared with the baseline store.
+func NewSpillSessionConfig(root string, cfg Config) (*Spill, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, fmt.Errorf("store: spill: resolve %q: %w", root, err)
 	}
-	if err := os.MkdirAll(filepath.Join(abs, quarDirName), spillReadPerm); err != nil {
+	sp := &Spill{
+		root:   abs,
+		fs:     fsx.Or(cfg.FS),
+		policy: fsx.RetryPolicy{Retries: cfg.Retries},
+	}
+	err = sp.do(func() error {
+		return sp.fs.MkdirAll(filepath.Join(abs, quarDirName), spillReadPerm)
+	})
+	if err != nil {
 		return nil, fmt.Errorf("store: spill: init %q: %w", abs, err)
 	}
-	dir, err := os.MkdirTemp(abs, sessPrefix)
+	err = sp.do(func() (e error) {
+		sp.dir, e = sp.fs.MkdirTemp(abs, sessPrefix)
+		return e
+	})
 	if err != nil {
 		return nil, fmt.Errorf("store: spill: session under %q: %w", abs, err)
 	}
-	return &Spill{root: abs, dir: dir}, nil
+	return sp, nil
+}
+
+// do runs op under the session's retry policy, metering retries and
+// give-ups into the process-wide io counters. Spiller goroutines carry no
+// context — the loop is bounded by attempts, not cancellation.
+func (sp *Spill) do(op func() error) error {
+	retries, err := sp.policy.Do(context.Background(), op)
+	if retries > 0 {
+		gIORetries.Add(0, int64(retries))
+	}
+	if err != nil && fsx.Transient(err) {
+		gIOGiveups.Add(0, 1)
+	}
+	return err
 }
 
 // Dir returns the session directory runs are written into.
@@ -66,10 +108,17 @@ func (sp *Spill) Dir() string { return sp.dir }
 // Write frames payload and writes it to a fresh run file in the session
 // directory, returning the file's path. Spill files are single-writer
 // scratch, so no temp-and-rename dance is needed; a torn write from a
-// crash is caught by OpenRun's verification like any other corruption.
+// crash (or an injected short write) is caught by OpenRun's verification
+// like any other corruption. Transient failures are retried; a path that
+// fails every attempt is removed best-effort so a torn prefix cannot
+// linger.
 func (sp *Spill) Write(payload []byte) (string, error) {
 	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d%s", sp.seq.Add(1), runSuffix))
-	if err := os.WriteFile(path, Frame(payload), 0o644); err != nil {
+	framed := Frame(payload)
+	if err := sp.do(func() error { return sp.fs.WriteFile(path, framed, 0o644) }); err != nil {
+		if sp.fs.Remove(path) != nil {
+			gCleanupErrors.Add(0, 1)
+		}
 		return "", fmt.Errorf("store: spill: write %s: %w", path, err)
 	}
 	return path, nil
@@ -81,32 +130,57 @@ func (sp *Spill) Write(payload []byte) (string, error) {
 // — unreadable file, bad magic, length or checksum mismatch — quarantines
 // the file and returns an error, so the caller treats the run as all-miss
 // and can never read torn bytes as fingerprints.
-func (sp *Spill) OpenRun(path string) (*os.File, int64, error) {
-	data, err := os.ReadFile(path)
+func (sp *Spill) OpenRun(path string) (fsx.File, int64, error) {
+	payload, err := sp.ReadRunPayload(path)
 	if err != nil {
-		sp.Quarantine(path)
-		return nil, 0, fmt.Errorf("store: spill: open %s: %w", path, err)
+		return nil, 0, err
 	}
-	payload, ok := Unframe(data)
-	if !ok {
-		sp.Quarantine(path)
-		return nil, 0, fmt.Errorf("store: spill: %s failed integrity verification (quarantined)", path)
-	}
-	f, err := os.Open(path)
+	var f fsx.File
+	err = sp.do(func() (e error) {
+		f, e = sp.fs.Open(path)
+		return e
+	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: spill: reopen %s: %w", path, err)
 	}
 	return f, int64(len(payload)), nil
 }
 
+// ReadRunPayload reads and verifies a spilled run in one shot, returning
+// its payload (without opening it for random access). Integrity failures
+// quarantine the file, exactly as in OpenRun; the model checker's filter
+// rebuild uses this to stream whole runs.
+func (sp *Spill) ReadRunPayload(path string) ([]byte, error) {
+	var data []byte
+	err := sp.do(func() (e error) {
+		data, e = sp.fs.ReadFile(path)
+		return e
+	})
+	if err != nil {
+		sp.Quarantine(path)
+		return nil, fmt.Errorf("store: spill: open %s: %w", path, err)
+	}
+	payload, ok := Unframe(data)
+	if !ok {
+		sp.Quarantine(path)
+		return nil, fmt.Errorf("store: spill: %s failed integrity verification (quarantined)", path)
+	}
+	return payload, nil
+}
+
 // Quarantine moves a run file into the spill root's quarantine directory
 // (or removes it when the move fails), so a corrupt run is preserved for
-// post-mortem but never re-read as data.
+// post-mortem but never re-read as data. A run that can be neither moved
+// nor removed counts as a cleanup error.
 func (sp *Spill) Quarantine(path string) {
 	dst := filepath.Join(sp.root, quarDirName, filepath.Base(sp.dir)+"-"+filepath.Base(path))
-	os.Remove(dst)
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
+	if rerr := sp.fs.Remove(dst); rerr != nil && !os.IsNotExist(rerr) {
+		gCleanupErrors.Add(0, 1)
+	}
+	if err := sp.fs.Rename(path, dst); err != nil {
+		if rmErr := sp.fs.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			gCleanupErrors.Add(0, 1)
+		}
 	}
 }
 
@@ -114,7 +188,7 @@ func (sp *Spill) Quarantine(path string) {
 // exploration. Quarantined runs survive in <root>/quarantine until the
 // next SpillGC.
 func (sp *Spill) Remove() error {
-	return os.RemoveAll(sp.dir)
+	return sp.fs.RemoveAll(sp.dir)
 }
 
 // SpillEntry is one reclaimable item under a spill root: a stale session
@@ -131,7 +205,7 @@ type SpillEntry struct {
 // writing runs) and every quarantined run file. It is the dry-run half of
 // SpillGC, shared with the fencecache CLI's gc -n.
 func PlanSpillGC(root string, maxAge time.Duration) ([]SpillEntry, error) {
-	dirents, err := os.ReadDir(root)
+	dirents, err := fsx.OS.ReadDir(root)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -150,7 +224,7 @@ func PlanSpillGC(root string, maxAge time.Duration) ([]SpillEntry, error) {
 			}
 			out = append(out, SpillEntry{Path: path, Size: dirSize(path), ModTime: info.ModTime()})
 		case de.IsDir() && de.Name() == quarDirName:
-			files, err := os.ReadDir(path)
+			files, err := fsx.OS.ReadDir(path)
 			if err != nil {
 				continue
 			}
@@ -176,7 +250,7 @@ func SpillGC(root string, maxAge time.Duration) (removed int, freed int64, err e
 		return 0, 0, err
 	}
 	for _, en := range plan {
-		if rerr := os.RemoveAll(en.Path); rerr != nil {
+		if rerr := fsx.OS.RemoveAll(en.Path); rerr != nil {
 			return removed, freed, fmt.Errorf("store: spill: gc: %w", rerr)
 		}
 		removed++

@@ -18,9 +18,17 @@
 // evict/quarantine counters feed the warm-vs-cold reporting of the
 // experiment harness and the fencecache CLI.
 //
+// All disk access routes through an fsx.FS (the real OS by default, a
+// seeded fault injector in the chaos suite), and transient failures on
+// the read and write paths are retried under a bounded-backoff policy
+// (fsx.RetryPolicy); retries and give-ups are metered, and failures that
+// survive the retries degrade — to a miss, to an error the caller turns
+// into an uncached run — never to wrong data.
+//
 // Open memoizes one Store per directory process-wide, so every session
 // certifying against the same cache shares one handle and one set of
-// counters.
+// counters. Opens with a private FS (OpenConfig) bypass the memo: they
+// model a separate process with its own fault schedule.
 package store
 
 import (
@@ -32,8 +40,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fenceplace/internal/fsx"
 	"fenceplace/internal/telemetry"
 )
 
@@ -43,12 +53,15 @@ import (
 // (see Store.Snapshot); Stats reads those, so warm-vs-cold deltas remain
 // attributable to one cache directory.
 var (
-	gHits        = telemetry.NewCounter("store.hits")
-	gMisses      = telemetry.NewCounter("store.misses")
-	gPuts        = telemetry.NewCounter("store.puts")
-	gEvicted     = telemetry.NewCounter("store.evictions")
-	gQuarantined = telemetry.NewCounter("store.quarantines")
-	gEntryBytes  = telemetry.NewHistogram("store.entry_bytes")
+	gHits          = telemetry.NewCounter("store.hits")
+	gMisses        = telemetry.NewCounter("store.misses")
+	gPuts          = telemetry.NewCounter("store.puts")
+	gEvicted       = telemetry.NewCounter("store.evictions")
+	gQuarantined   = telemetry.NewCounter("store.quarantines")
+	gCleanupErrors = telemetry.NewCounter("store.cleanup_errors")
+	gIORetries     = telemetry.NewCounter("store.io_retries")
+	gIOGiveups     = telemetry.NewCounter("store.io_giveups")
+	gEntryBytes    = telemetry.NewHistogram("store.entry_bytes")
 )
 
 const (
@@ -62,24 +75,40 @@ const (
 // magic heads every entry file; the fourth byte is the format version.
 var magic = [4]byte{'F', 'P', 'S', formatVersion}
 
+// Config tunes how a Store (or Spill session) touches the disk. The zero
+// value is production behavior: the real OS, default retries.
+type Config struct {
+	// FS is the filesystem the store routes every operation through; nil
+	// means the real OS. A non-nil FS makes OpenConfig return a private,
+	// non-memoized handle — the seam the chaos suite injects faults
+	// through, and a way to model a second process sharing the directory.
+	FS fsx.FS
+	// Retries bounds how often a transiently failing operation is
+	// re-attempted: 0 means the fsx default (2), negative disables
+	// retrying.
+	Retries int
+}
+
 // Stats is a snapshot of a store's counters. Counters are per-process and
 // cumulative since Open; Sub produces the delta over a window.
 type Stats struct {
-	Hits        int64 // Get served a verified entry
-	Misses      int64 // Get found nothing usable (absent, corrupt, invalid key)
-	Puts        int64 // entries written
-	Evicted     int64 // entries removed by GC
-	Quarantined int64 // entries moved aside after failing integrity/decoding
+	Hits          int64 // Get served a verified entry
+	Misses        int64 // Get found nothing usable (absent, corrupt, invalid key)
+	Puts          int64 // entries written
+	Evicted       int64 // entries removed by GC
+	Quarantined   int64 // entries moved aside after failing integrity/decoding
+	CleanupErrors int64 // best-effort removals (tmp files, quarantine moves) that failed
 }
 
 // Sub returns the counter delta s - prev.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Hits:        s.Hits - prev.Hits,
-		Misses:      s.Misses - prev.Misses,
-		Puts:        s.Puts - prev.Puts,
-		Evicted:     s.Evicted - prev.Evicted,
-		Quarantined: s.Quarantined - prev.Quarantined,
+		Hits:          s.Hits - prev.Hits,
+		Misses:        s.Misses - prev.Misses,
+		Puts:          s.Puts - prev.Puts,
+		Evicted:       s.Evicted - prev.Evicted,
+		Quarantined:   s.Quarantined - prev.Quarantined,
+		CleanupErrors: s.CleanupErrors - prev.CleanupErrors,
 	}
 }
 
@@ -97,10 +126,13 @@ type Entry struct {
 // per directory), mirrored into the process-wide "store.*" counters of the
 // default registry; Stats and Snapshot are views of them.
 type Store struct {
-	dir string
+	dir     string
+	fs      fsx.FS
+	retries atomic.Int32 // configured retry bound; 0 = fsx default
 
 	reg                                      *telemetry.Registry
 	hits, misses, puts, evicted, quarantined *telemetry.Counter
+	cleanupErrors, ioRetries, ioGiveups      *telemetry.Counter
 }
 
 // count bumps a per-store counter and its process-wide mirror. Counter
@@ -119,33 +151,84 @@ var (
 // Open returns the process-shared Store for dir, creating the directory
 // skeleton on first use. Repeated opens of one directory return the same
 // handle, so counters aggregate across all users of the cache.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenConfig(dir, Config{}) }
+
+// OpenConfig is Open with disk-access configuration. With a nil cfg.FS it
+// returns the memoized per-directory handle (creating it on first use,
+// and adopting a non-zero cfg.Retries onto the shared handle so later
+// openers see the tuned bound). With a non-nil cfg.FS it returns a fresh
+// private handle every call: fault-injecting filesystems must not leak
+// into the process-shared handle, and a private handle is exactly how a
+// test models a second process on the same directory.
+func OpenConfig(dir string, cfg Config) (*Store, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: resolve %q: %w", dir, err)
 	}
+	if cfg.FS != nil {
+		return newStore(abs, cfg)
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if s := registry[abs]; s != nil {
+		if cfg.Retries != 0 {
+			s.retries.Store(int32(cfg.Retries))
+		}
 		return s, nil
 	}
-	for _, sub := range []string{tmpDirName, quarDirName} {
-		if err := os.MkdirAll(filepath.Join(abs, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("store: init %q: %w", abs, err)
-		}
-	}
-	reg := telemetry.NewRegistry()
-	s := &Store{
-		dir:         abs,
-		reg:         reg,
-		hits:        reg.Counter("store.hits"),
-		misses:      reg.Counter("store.misses"),
-		puts:        reg.Counter("store.puts"),
-		evicted:     reg.Counter("store.evictions"),
-		quarantined: reg.Counter("store.quarantines"),
+	s, err := newStore(abs, cfg)
+	if err != nil {
+		return nil, err
 	}
 	registry[abs] = s
 	return s, nil
+}
+
+func newStore(abs string, cfg Config) (*Store, error) {
+	reg := telemetry.NewRegistry()
+	s := &Store{
+		dir:           abs,
+		fs:            fsx.Or(cfg.FS),
+		reg:           reg,
+		hits:          reg.Counter("store.hits"),
+		misses:        reg.Counter("store.misses"),
+		puts:          reg.Counter("store.puts"),
+		evicted:       reg.Counter("store.evictions"),
+		quarantined:   reg.Counter("store.quarantines"),
+		cleanupErrors: reg.Counter("store.cleanup_errors"),
+		ioRetries:     reg.Counter("store.io_retries"),
+		ioGiveups:     reg.Counter("store.io_giveups"),
+	}
+	s.retries.Store(int32(cfg.Retries))
+	for _, sub := range []string{tmpDirName, quarDirName} {
+		err := s.do(context.Background(), func() error {
+			return s.fs.MkdirAll(filepath.Join(abs, sub), 0o755)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: init %q: %w", abs, err)
+		}
+	}
+	return s, nil
+}
+
+// policy is the store's retry policy under its configured bound.
+func (s *Store) policy() fsx.RetryPolicy {
+	return fsx.RetryPolicy{Retries: int(s.retries.Load())}
+}
+
+// do runs op under the retry policy and meters the outcome: io_retries
+// counts re-attempts, io_giveups counts transient failures that survived
+// every attempt (permanent errors are not give-ups — retrying was never
+// going to help).
+func (s *Store) do(ctx context.Context, op func() error) error {
+	retries, err := s.policy().Do(ctx, op)
+	if retries > 0 {
+		count(s.ioRetries, gIORetries, int64(retries))
+	}
+	if err != nil && fsx.Transient(err) {
+		count(s.ioGiveups, gIOGiveups, 1)
+	}
+	return err
 }
 
 // Dir returns the store's root directory.
@@ -154,11 +237,12 @@ func (s *Store) Dir() string { return s.dir }
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Value(),
-		Misses:      s.misses.Value(),
-		Puts:        s.puts.Value(),
-		Evicted:     s.evicted.Value(),
-		Quarantined: s.quarantined.Value(),
+		Hits:          s.hits.Value(),
+		Misses:        s.misses.Value(),
+		Puts:          s.puts.Value(),
+		Evicted:       s.evicted.Value(),
+		Quarantined:   s.quarantined.Value(),
+		CleanupErrors: s.cleanupErrors.Value(),
 	}
 }
 
@@ -233,15 +317,38 @@ func Unframe(data []byte) (payload []byte, ok bool) {
 }
 
 // Get returns the verified payload stored under key. Every failure mode —
-// absent entry, unreadable file, framing violation — is a miss; entries
-// that exist but fail verification are additionally quarantined so the
-// next run does not re-read known-bad bytes.
+// absent entry, unreadable file (after transient-error retries), framing
+// violation — is a miss; entries that exist but fail verification are
+// additionally quarantined so the next run does not re-read known-bad
+// bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
+	return s.get(context.Background(), key)
+}
+
+// GetCtx is Get gated by a context: a cancelled ctx returns not-found
+// without touching the disk, so a cancelled certification never blocks on
+// store I/O. The skip is not counted as a miss — no lookup happened, and
+// the hit/miss counters feed warm-vs-cold reporting that must stay
+// truthful across interrupted runs. A live ctx also bounds the retry
+// backoff, so cancellation wins mid-retry too.
+func (s *Store) GetCtx(ctx context.Context, key string) ([]byte, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	return s.get(ctx, key)
+}
+
+func (s *Store) get(ctx context.Context, key string) ([]byte, bool) {
 	if !validKey(key) {
 		count(s.misses, gMisses, 1)
 		return nil, false
 	}
-	data, err := os.ReadFile(s.entryPath(key))
+	var data []byte
+	err := s.do(ctx, func() error {
+		var e error
+		data, e = s.fs.ReadFile(s.entryPath(key))
+		return e
+	})
 	if err != nil {
 		count(s.misses, gMisses, 1)
 		return nil, false
@@ -256,18 +363,6 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
-// GetCtx is Get gated by a context: a cancelled ctx returns not-found
-// without touching the disk, so a cancelled certification never blocks on
-// store I/O. The skip is not counted as a miss — no lookup happened, and
-// the hit/miss counters feed warm-vs-cold reporting that must stay
-// truthful across interrupted runs.
-func (s *Store) GetCtx(ctx context.Context, key string) ([]byte, bool) {
-	if ctx.Err() != nil {
-		return nil, false
-	}
-	return s.Get(key)
-}
-
 // PutCtx is Put gated by a context: a cancelled ctx skips the write
 // entirely and returns ctx's error, so an abandoned run leaves no fresh
 // entries behind. Entries that do get written are complete by
@@ -277,41 +372,58 @@ func (s *Store) PutCtx(ctx context.Context, key string, payload []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return s.Put(key, payload)
+	return s.put(ctx, key, payload)
 }
 
 // Put stores payload under key, atomically: the framed entry is written to
 // the store's tmp directory and renamed into place, so a concurrent Get
 // (or a reader in another process) sees either the old entry, the new one,
 // or a miss — never a torn write. Losing a Put/Put race is harmless:
-// content addressing makes both writers' bytes identical.
+// content addressing makes both writers' bytes identical. Transient
+// failures are retried from scratch (a fresh temp file each attempt);
+// failed attempts' temp files are removed best-effort, with failures of
+// that removal counted in cleanup_errors.
 func (s *Store) Put(key string, payload []byte) error {
+	return s.put(context.Background(), key, payload)
+}
+
+func (s *Store) put(ctx context.Context, key string, payload []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
-	shard := filepath.Join(s.dir, key[:2])
-	if err := os.MkdirAll(shard, 0o755); err != nil {
+	framed := Frame(payload)
+	if err := s.do(ctx, func() error { return s.putOnce(key, framed) }); err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
-	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpDirName), key+".*")
+	count(s.puts, gPuts, 1)
+	gEntryBytes.Observe(0, int64(len(payload)))
+	return nil
+}
+
+// putOnce is one attempt of the temp-write-rename sequence.
+func (s *Store) putOnce(key string, framed []byte) error {
+	if err := s.fs.MkdirAll(filepath.Join(s.dir, key[:2]), 0o755); err != nil {
+		return err
+	}
+	tmp, err := s.fs.CreateTemp(filepath.Join(s.dir, tmpDirName), key+".*")
 	if err != nil {
-		return fmt.Errorf("store: put %s: %w", key, err)
+		return err
 	}
 	tmpName := tmp.Name()
-	_, werr := tmp.Write(Frame(payload))
+	_, werr := tmp.Write(framed)
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmpName, s.entryPath(key))
+		werr = s.fs.Rename(tmpName, s.entryPath(key))
 	}
 	if werr != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: put %s: %w", key, werr)
+		if s.fs.Remove(tmpName) != nil {
+			count(s.cleanupErrors, gCleanupErrors, 1)
+		}
+		return werr
 	}
-	count(s.puts, gPuts, 1)
-	gEntryBytes.Observe(0, int64(len(payload)))
 	return nil
 }
 
@@ -328,18 +440,28 @@ func (s *Store) Reject(key string) {
 
 // Quarantine moves the entry stored under key into the quarantine
 // directory. Get calls it for framing failures; decode-level failures go
-// through Reject, which also fixes up the hit/miss accounting.
+// through Reject, which also fixes up the hit/miss accounting. Failures
+// of the move-aside itself (the entry could be neither renamed nor
+// removed) are counted in cleanup_errors: the store could not stop a
+// known-bad file from being re-read.
 func (s *Store) Quarantine(key string) {
 	if !validKey(key) {
 		return
 	}
 	src := s.entryPath(key)
 	dst := filepath.Join(s.dir, quarDirName, key+suffix)
-	os.Remove(dst) // a previous quarantine of the same key gives way
-	if err := os.Rename(src, dst); err != nil {
+	// A previous quarantine of the same key gives way; only unexpected
+	// failures to clear it count as cleanup errors.
+	if rerr := s.fs.Remove(dst); rerr != nil && !os.IsNotExist(rerr) {
+		count(s.cleanupErrors, gCleanupErrors, 1)
+	}
+	if err := s.fs.Rename(src, dst); err != nil {
 		// Rename can fail when another process already moved or removed
 		// the entry; removing covers the remaining local failure modes.
-		if os.Remove(src) != nil {
+		if rmErr := s.fs.Remove(src); rmErr != nil {
+			if !os.IsNotExist(rmErr) {
+				count(s.cleanupErrors, gCleanupErrors, 1)
+			}
 			return
 		}
 	}
@@ -349,7 +471,7 @@ func (s *Store) Quarantine(key string) {
 // List enumerates the stored entries (quarantined and in-flight files
 // excluded), sorted by key.
 func (s *Store) List() ([]Entry, error) {
-	shards, err := os.ReadDir(s.dir)
+	shards, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: list: %w", err)
 	}
@@ -358,7 +480,7 @@ func (s *Store) List() ([]Entry, error) {
 		if !sh.IsDir() || sh.Name() == tmpDirName || sh.Name() == quarDirName {
 			continue
 		}
-		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		files, err := s.fs.ReadDir(filepath.Join(s.dir, sh.Name()))
 		if err != nil {
 			continue // shard vanished under a concurrent GC
 		}
@@ -387,7 +509,7 @@ func (s *Store) Verify() (ok int, bad []string, err error) {
 		return 0, nil, err
 	}
 	for _, en := range entries {
-		data, rerr := os.ReadFile(s.entryPath(en.Key))
+		data, rerr := s.fs.ReadFile(s.entryPath(en.Key))
 		if rerr != nil {
 			continue // removed concurrently: neither good nor bad
 		}
@@ -423,7 +545,7 @@ func (s *Store) GC(maxBytes int64) (evicted int, freed int64, err error) {
 		return 0, freed, err
 	}
 	for _, en := range victims {
-		if rerr := os.Remove(s.entryPath(en.Key)); rerr != nil && !os.IsNotExist(rerr) {
+		if rerr := s.fs.Remove(s.entryPath(en.Key)); rerr != nil && !os.IsNotExist(rerr) {
 			return evicted, freed, fmt.Errorf("store: gc: %w", rerr)
 		}
 		freed += en.Size
@@ -474,7 +596,7 @@ func (s *Store) evictionPlan(maxBytes int64) ([]Entry, error) {
 // purgeDir removes the plain files of dir older than minAge (zero: all of
 // them) and returns the bytes reclaimed.
 func (s *Store) purgeDir(dir string, minAge time.Duration) (freed int64) {
-	files, err := os.ReadDir(dir)
+	files, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return 0
 	}
@@ -487,7 +609,7 @@ func (s *Store) purgeDir(dir string, minAge time.Duration) (freed int64) {
 		if err != nil || info.ModTime().After(cutoff) {
 			continue
 		}
-		if os.Remove(filepath.Join(dir, f.Name())) == nil {
+		if s.fs.Remove(filepath.Join(dir, f.Name())) == nil {
 			freed += info.Size()
 		}
 	}
@@ -497,7 +619,7 @@ func (s *Store) purgeDir(dir string, minAge time.Duration) (freed int64) {
 // Quarantined enumerates the quarantined entries — corrupt or undecodable
 // files set aside for post-mortem (reclaimed by the next GC).
 func (s *Store) Quarantined() ([]Entry, error) {
-	files, err := os.ReadDir(filepath.Join(s.dir, quarDirName))
+	files, err := s.fs.ReadDir(filepath.Join(s.dir, quarDirName))
 	if err != nil {
 		return nil, fmt.Errorf("store: quarantined: %w", err)
 	}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"fenceplace/internal/fsx"
 )
 
 // key returns a distinct valid 32-hex-digit key per index.
@@ -295,5 +297,95 @@ func TestConcurrentPutGet(t *testing.T) {
 	tmps, _ := os.ReadDir(filepath.Join(s.Dir(), "tmp"))
 	if len(tmps) != 0 {
 		t.Errorf("%d leftover temp files", len(tmps))
+	}
+}
+
+// TestTwoProcessesSharingOneCacheDir simulates two independent processes
+// on one cache directory (separate handles via a non-nil Config.FS, which
+// bypasses the per-directory memoization): concurrent Puts of the same
+// key, plus GC racing readers and re-putters, must never surface a torn
+// or corrupt read — every successful Get returns exactly some payload a
+// writer stored under that key.
+func TestTwoProcessesSharingOneCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Store {
+		t.Helper()
+		s, err := OpenConfig(dir, Config{FS: fsx.OS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := open(), open()
+	if a == b {
+		t.Fatal("non-nil Config.FS must yield private handles")
+	}
+
+	// The set of byte payloads any writer may legitimately store under the
+	// shared key. A Get that succeeds must return one of them, whole.
+	valid := make(map[string]bool)
+	for v := 0; v < 4; v++ {
+		valid[strings.Repeat(fmt.Sprintf("payload-%d|", v), 32)] = true
+	}
+	k := key(0)
+
+	var rw sync.WaitGroup // writers + readers (bounded iteration counts)
+	// Writers on both handles hammer the same key with distinct payloads.
+	for v := 0; v < 4; v++ {
+		rw.Add(1)
+		go func(v int, s *Store) {
+			defer rw.Done()
+			payload := []byte(strings.Repeat(fmt.Sprintf("payload-%d|", v), 32))
+			for i := 0; i < 200; i++ {
+				if err := s.Put(k, payload); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(v, []*Store{a, b}[v%2])
+	}
+	// Readers on both handles: any ok Get must be an exact stored payload.
+	// An eviction or a concurrent replace may turn the read into a miss —
+	// never into torn bytes.
+	for r := 0; r < 4; r++ {
+		rw.Add(1)
+		go func(s *Store) {
+			defer rw.Done()
+			for i := 0; i < 400; i++ {
+				if got, ok := s.Get(k); ok && !valid[string(got)] {
+					t.Errorf("corrupt read: %d bytes, prefix %.40q", len(got), got)
+					return
+				}
+			}
+		}([]*Store{a, b}[r%2])
+	}
+	// GC(0) on the second handle runs for the whole racing phase, evicting
+	// whatever has landed while the other process is mid-Put and mid-Get.
+	stopc := make(chan struct{})
+	gcDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stopc:
+				gcDone <- nil
+				return
+			default:
+			}
+			if _, _, err := b.GC(0); err != nil {
+				gcDone <- err
+				return
+			}
+		}
+	}()
+	rw.Wait()
+	close(stopc)
+	if err := <-gcDone; err != nil {
+		t.Fatalf("gc racing the shared dir: %v", err)
+	}
+
+	// The shared directory must still verify clean: no torn entries, no
+	// quarantine fallout from the races.
+	if _, bad, err := a.Verify(); err != nil || len(bad) != 0 {
+		t.Fatalf("Verify after shared-dir races: bad=%v err=%v", bad, err)
 	}
 }

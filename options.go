@@ -4,6 +4,7 @@ import (
 	"os"
 	"time"
 
+	"fenceplace/internal/fsx"
 	"fenceplace/internal/mc"
 )
 
@@ -40,6 +41,9 @@ type config struct {
 
 	progress      func(ProgressEvent) // streaming progress sink (nil = none)
 	progressEvery time.Duration       // heartbeat interval (0 = default 250ms)
+
+	faultFS   fsx.FS // filesystem override for cache + spill I/O (nil = the OS)
+	ioRetries int    // transient-I/O retry bound (0 = default, <0 = none)
 }
 
 // resolve folds an option list into a configuration. The baseline-store
@@ -77,6 +81,8 @@ func (c config) mcConfig() mc.Config {
 		SpillDir:  c.spillDir,
 		ExactSeen: c.exactSeen,
 		NoPOR:     c.noPOR,
+		FS:        c.faultFS,
+		IORetries: c.ioRetries,
 	}
 }
 
@@ -146,6 +152,26 @@ func WithMemoryCap(n int) Option {
 // reclaims sessions orphaned by crashes.
 func WithSpillDir(dir string) Option {
 	return func(c *config) { c.spillDir, c.spillDirSet = dir, true }
+}
+
+// WithFaultFS routes every disk operation of the certification pipeline —
+// the baseline cache and the seen-set spill area — through fs instead of
+// the real filesystem. It is the fault-injection seam of the chaos test
+// suite (see internal/fsx.NewFaultFS); nil restores the OS. The
+// filesystem cannot affect certification verdicts, only whether the
+// pipeline runs cached, spilled, or degraded; fs must have a comparable
+// dynamic type (the pass session keys baselines by configuration).
+func WithFaultFS(fs fsx.FS) Option {
+	return func(c *config) { c.faultFS = fs }
+}
+
+// WithIORetries bounds how many times a transiently failing disk
+// operation (EIO, interrupted syscall, short write) is re-attempted with
+// exponential backoff before the pipeline degrades: 0 keeps the default
+// (2 retries), negative disables retrying. Permanent failures — missing
+// files, permission errors, no space — are never retried.
+func WithIORetries(n int) Option {
+	return func(c *config) { c.ioRetries = n }
 }
 
 // Resolved returns an option list equivalent to opts with every
