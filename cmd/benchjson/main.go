@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"fenceplace/internal/cli"
 )
 
 // Result is one benchmark line: its name, iteration count, and every
@@ -151,7 +153,12 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	commit := flag.String("commit", "", "commit to stamp the record with (default $GITHUB_SHA, $GIT_COMMIT, then git rev-parse HEAD)")
 	metrics := flag.String("metrics", "", "telemetry snapshot JSON file to embed in the record")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *version {
+		cli.Version()
+		return
+	}
 
 	rep, err := parse(os.Stdin, os.Stderr)
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"fenceplace/internal/cli"
 	"fenceplace/internal/store"
 )
 
@@ -39,8 +40,13 @@ func usage() {
 
 func main() {
 	dir := flag.String("dir", "", "baseline store directory (default $FENCEPLACE_CACHE_DIR)")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		cli.Version()
+		return
+	}
 
 	d := *dir
 	if d == "" {

@@ -20,6 +20,7 @@ import (
 
 	"fenceplace"
 	"fenceplace/internal/annotate"
+	"fenceplace/internal/cli"
 	"fenceplace/internal/progs"
 )
 
@@ -35,8 +36,14 @@ func main() {
 		annot    = flag.Bool("annotate", false, "emit minimal DRF annotations instead of fences (paper §1.3)")
 		timing   = flag.Bool("timing", false, "report per-pass wall times in each summary")
 		jobs     = flag.Int("j", 0, "per-function analysis workers (0 = GOMAXPROCS)")
+		version  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cli.Version()
+		return
+	}
 
 	if *list {
 		for _, m := range progs.All() {

@@ -3,15 +3,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"fenceplace/internal/cli"
 	"fenceplace/internal/litmus"
 	"fenceplace/internal/stats"
 	"fenceplace/internal/tso"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print the build identity and exit")
+	flag.Parse()
+	if *version {
+		cli.Version()
+		return
+	}
+
 	t := stats.NewTable("test", "outcome", "SC", "TSO", "verdict")
 	bad := false
 	for _, lt := range litmus.All() {

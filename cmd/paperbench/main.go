@@ -29,13 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 	"sync"
-	"syscall"
 
 	"fenceplace"
 	"fenceplace/corpus"
+	"fenceplace/internal/cli"
 	"fenceplace/internal/exp"
 	"fenceplace/internal/mc"
 	"fenceplace/internal/store"
@@ -64,10 +63,15 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-openable) of the run")
 		metrics  = flag.Bool("metrics", false, "dump the final telemetry snapshot (JSON) to stderr on exit")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address for the run's duration")
+		version  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		cli.Version()
+		return
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	if *deadline > 0 {
 		// The deadline bounds wall-clock, not states: a stuck disk or an

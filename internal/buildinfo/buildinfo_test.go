@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRead(t *testing.T) {
+	info := Read()
+	if info.Go == "" {
+		t.Error("Read() lost the Go version")
+	}
+	if info.Version == "" {
+		t.Error("Read() lost the module version")
+	}
+	// Read is memoized; two calls must agree.
+	if again := Read(); again != info {
+		t.Errorf("Read() unstable: %+v then %+v", info, again)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, "fenceplace") {
+		t.Errorf("String() = %q, want the binary identity to name the module", s)
+	}
+	if !strings.Contains(s, Read().Go) {
+		t.Errorf("String() = %q, want it to carry the Go version", s)
+	}
+}

@@ -1,0 +1,29 @@
+// Package cli holds the scraps of process plumbing every command shares:
+// the signal-bound root context and the -version flag body. It exists so
+// cmd/paperbench, cmd/fencecheck and cmd/fenced cannot drift apart in
+// which signals they honor or how they report their build.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fenceplace/internal/buildinfo"
+)
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM — the
+// interactive interrupt and the orchestrator's shutdown request alike.
+// The returned stop releases the signal registration; a second signal
+// after cancellation kills the process with the default disposition, so a
+// stuck drain can always be escalated by hand.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Version prints the build identity (internal/buildinfo) to stdout — the
+// body of every command's -version flag.
+func Version() {
+	os.Stdout.WriteString(buildinfo.String() + "\n")
+}
