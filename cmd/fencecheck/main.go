@@ -9,6 +9,7 @@
 //	fencecheck -prog dekker -strategy all       # all three placements, one shared SC baseline
 //	fencecheck -prog dekker -unfenced           # show why the legacy build needs fences
 //	fencecheck -file prog.ir -entry t0,t1       # litmus-style: explicit flat threads
+//	fencecheck -file treiber.go -strategy all   # restricted real-Go source, lowered by the frontend
 //	fencecheck -prog lamport -threads 2 -budget 4194304
 //	fencecheck -prog dekker -strategy all -json # machine-readable corpus Report row
 //
@@ -277,11 +278,23 @@ func loadProgram(progName, file string, threads int, size int64) (string, *fence
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return "", nil, err
+			return "", nil, fmt.Errorf("cannot read %s: %w\nvalid inputs: a textual IR file (.ir) or a restricted-Go source file (.go)", file, err)
 		}
-		p, err := fenceplace.Parse(string(src))
+		format := "textual IR"
+		if filepath.Ext(file) == ".go" {
+			format = "Go source"
+		}
+		if len(strings.TrimSpace(string(src))) == 0 {
+			return "", nil, fmt.Errorf("%s is empty (detected format: %s by extension)\nvalid inputs: a textual IR file (.ir) or a restricted-Go source file (.go)", file, format)
+		}
+		var p *fenceplace.Program
+		if format == "Go source" {
+			p, err = fenceplace.ParseGo(file, src)
+		} else {
+			p, err = fenceplace.Parse(string(src))
+		}
 		if err != nil {
-			return "", nil, err
+			return "", nil, fmt.Errorf("%s (detected format: %s):\n%w", file, format, err)
 		}
 		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
 		return name, p, nil

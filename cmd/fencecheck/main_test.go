@@ -1,0 +1,152 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fenceplace"
+)
+
+const goSB = `package sb
+
+import "sync"
+
+var (
+	x  int64
+	y  int64
+	r0 int64
+	r1 int64
+)
+
+var wg sync.WaitGroup
+
+func t0() {
+	defer wg.Done()
+	x = 1
+	r0 = y
+}
+
+func t1() {
+	defer wg.Done()
+	y = 1
+	r1 = x
+}
+
+func main() {
+	wg.Add(2)
+	go t0()
+	go t1()
+	wg.Wait()
+}
+`
+
+// TestLoadProgramInputErrors pins the bad-input contract: the error
+// names the offending path, the detected format, and the valid input
+// kinds (main maps any loadProgram error to exit code 2).
+func TestLoadProgramInputErrors(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.go")
+	if err := os.WriteFile(empty, []byte("  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		file  string
+		wants []string
+	}{
+		{"unreadable", "/nonexistent/prog.ir", []string{"/nonexistent/prog.ir", "valid inputs"}},
+		{"empty go file", empty, []string{empty, "Go source", "valid inputs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := loadProgram("", tc.file, 2, 0)
+			if err == nil {
+				t.Fatalf("loadProgram accepted %s", tc.file)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error does not mention %q:\n%v", want, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadProgramDispatch pins extension dispatch: .go lowers through
+// the frontend, anything else parses as textual IR — including IR that
+// was itself produced from lowered Go source.
+func TestLoadProgramDispatch(t *testing.T) {
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "sb.go")
+	if err := os.WriteFile(goFile, []byte(goSB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, prog, err := loadProgram("", goFile, 2, 0)
+	if err != nil {
+		t.Fatalf("loadProgram(.go): %v", err)
+	}
+	if name != "sb" || prog == nil || prog.Main != "main" {
+		t.Fatalf("loadProgram(.go) = (%q, %v), want sb with main entry", name, prog)
+	}
+
+	irFile := filepath.Join(dir, "sb.ir")
+	if err := os.WriteFile(irFile, []byte(fenceplace.Format(prog)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, prog2, err := loadProgram("", irFile, 2, 0)
+	if err != nil {
+		t.Fatalf("loadProgram(.ir): %v", err)
+	}
+	if name != "sb" || fenceplace.Format(prog2) != fenceplace.Format(prog) {
+		t.Fatalf("IR round trip through loadProgram drifted")
+	}
+
+	badGo := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(badGo, []byte("package p\n\nfunc main() {\n\tch := make(chan int64)\n\tch <- 1\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = loadProgram("", badGo, 2, 0)
+	if err == nil {
+		t.Fatal("loadProgram accepted out-of-subset Go")
+	}
+	if !strings.Contains(err.Error(), "Go source") || !strings.Contains(err.Error(), badGo) {
+		t.Errorf("subset error does not name file and format:\n%v", err)
+	}
+}
+
+// TestBadInputExitCode runs the real binary path: bad -file input must
+// terminate with the inconclusive exit code 2, never 0 or 1.
+func TestBadInputExitCode(t *testing.T) {
+	if os.Getenv("FENCECHECK_BADINPUT") == "1" {
+		os.Args = []string{"fencecheck", "-file", os.Getenv("FENCECHECK_FILE")}
+		main()
+		return
+	}
+	empty := filepath.Join(t.TempDir(), "empty.ir")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, file := range map[string]string{
+		"unreadable": "/nonexistent/prog.ir",
+		"empty":      empty,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run=TestBadInputExitCode$")
+			cmd.Env = append(os.Environ(), "FENCECHECK_BADINPUT=1", "FENCECHECK_FILE="+file)
+			out, err := cmd.CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("want exit error, got %v\n%s", err, out)
+			}
+			if ee.ExitCode() != 2 {
+				t.Fatalf("exit code = %d, want 2\n%s", ee.ExitCode(), out)
+			}
+			if !strings.Contains(string(out), file) || !strings.Contains(string(out), "valid inputs") {
+				t.Errorf("stderr does not name the path and valid input kinds:\n%s", out)
+			}
+		})
+	}
+}

@@ -1,7 +1,8 @@
 // Command fenced is the long-running certification service: an HTTP/JSON
-// daemon that accepts program submissions (inline IR text or named corpus
-// programs), runs analyze/certify jobs through the fenceplace pipeline
-// over one warm baseline store, and answers with corpus Report rows.
+// daemon that accepts program submissions (inline IR text, restricted
+// real-Go source, or named corpus programs), runs analyze/certify jobs
+// through the fenceplace pipeline over one warm baseline store, and
+// answers with corpus Report rows.
 //
 //	fenced -listen :8080 -cache-dir /var/cache/fenceplace
 //	fenced -listen :8080 -admin :6060 -workers 4 -queue 128

@@ -108,6 +108,24 @@ type singleSource struct {
 	prog, manual *fenceplace.Program
 }
 
+// GoSource lowers one file of restricted real-Go source into a
+// single-member Source named after its package clause, so Go programs run
+// through the same drivers as hand-built IR. There is no expert build for
+// lowered source — BuildManual yields nil and drivers skip that column.
+// Subset violations surface as the frontend's position-sorted diagnostic
+// list.
+func GoSource(filename string, src []byte) (Source, error) {
+	prog, err := fenceplace.ParseGo(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	name := prog.Name
+	if name == "" {
+		name = filename
+	}
+	return SingleSource(name, prog, nil), nil
+}
+
 func (s *singleSource) Label() string                       { return s.name }
 func (s *singleSource) Len() int                            { return 1 }
 func (s *singleSource) Name(int) string                     { return s.name }

@@ -1,0 +1,43 @@
+package fenceplace
+
+import (
+	"context"
+
+	"fenceplace/internal/frontend"
+)
+
+// SourceDiag is one frontend diagnostic: an exact file:line:col position,
+// a stable code naming the rejected construct, and a message.
+type SourceDiag = frontend.Diag
+
+// SourceDiagList is the error returned when Go source falls outside the
+// certifiable subset: every problem in the file, position-sorted, never
+// just the first.
+type SourceDiagList = frontend.DiagList
+
+// ParseGo lowers one file of restricted real-Go source onto the IR: int64
+// globals and fixed-size arrays, word-typed locals and functions, if/for/
+// goto control flow, `go f(...)` spawn with wg.Wait join detection, and
+// sync/atomic Load/Store/CompareAndSwap/Add as the IR's atomic
+// operations. Constructs outside the subset (channels, maps, interfaces,
+// slices, closures, ...) are rejected with a SourceDiagList collecting
+// every offending position. filename is used in diagnostics only.
+func ParseGo(filename string, src []byte) (*Program, error) {
+	return frontend.Lower(filename, src)
+}
+
+// ParseGoFile is ParseGo over a file on disk.
+func ParseGoFile(path string) (*Program, error) {
+	return frontend.LowerFile(path)
+}
+
+// AnalyzeSourceCtx lowers restricted Go source and runs one strategy's
+// fence placement over it: the real-code entry to the same pipeline
+// AnalyzeCtx exposes for hand-built IR.
+func AnalyzeSourceCtx(ctx context.Context, filename string, src []byte, s Strategy, opts ...Option) (*Result, error) {
+	prog, err := ParseGo(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCtx(ctx, prog, s, opts...)
+}

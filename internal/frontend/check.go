@@ -1,0 +1,57 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// check parses and type-checks one file hermetically (stub importer, no
+// build environment). Parse errors abort before type checking — a broken
+// AST only produces noise — but type errors are collected in full via the
+// types.Config.Error hook, so a file with three bad constructs reports
+// all three.
+func check(filename string, src []byte) (*ast.File, *token.FileSet, *types.Info, DiagList) {
+	fset := token.NewFileSet()
+	var diags DiagList
+
+	file, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		if list, ok := err.(scanner.ErrorList); ok {
+			for _, e := range list {
+				diags = append(diags, Diag{Pos: e.Pos, Code: CodeParse, Msg: e.Msg})
+			}
+		} else {
+			diags = append(diags, Diag{Pos: token.Position{Filename: filename}, Code: CodeParse, Msg: err.Error()})
+		}
+		return nil, fset, nil, diags
+	}
+
+	conf := types.Config{
+		Importer: newStubImporter(),
+		Error: func(err error) {
+			te, ok := err.(types.Error)
+			if !ok {
+				diags = append(diags, Diag{Pos: token.Position{Filename: filename}, Code: CodeType, Msg: err.Error()})
+				return
+			}
+			code := CodeType
+			if strings.Contains(te.Msg, "could not import") {
+				code = CodeImport
+			}
+			diags = append(diags, Diag{Pos: te.Fset.Position(te.Pos), Code: code, Msg: te.Msg})
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	// The returned error repeats what the Error hook already collected.
+	conf.Check(file.Name.Name, fset, []*ast.File{file}, info) //nolint:errcheck
+	return file, fset, info, diags
+}

@@ -1,0 +1,123 @@
+package frontend
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Code classifies a frontend diagnostic. Every construct the subset
+// rejects has a stable code so tools (and the table-driven tests) can
+// match on the class of rejection rather than the message text. The codes
+// are part of the package's public contract — see the README's
+// "Analyzing real Go code" table.
+type Code string
+
+const (
+	// CodeParse is a Go syntax error from go/parser.
+	CodeParse Code = "parse"
+	// CodeType is a type-check error from go/types (including references
+	// to atomic functions the subset does not model).
+	CodeType Code = "typecheck"
+	// CodeImport rejects any import other than sync and sync/atomic.
+	CodeImport Code = "import"
+	// CodeGlobal rejects a package-level declaration outside the subset:
+	// non-int64 globals, non-constant initializers.
+	CodeGlobal Code = "global"
+	// CodeDecl rejects an unsupported declaration form: methods, type
+	// declarations, functions with unsupported signatures.
+	CodeDecl Code = "decl"
+	// CodeVarType rejects a local variable of a type the IR has no words
+	// for (anything but int, int64 and bool).
+	CodeVarType Code = "vartype"
+	// CodeChan rejects channel types, sends, receives and select.
+	CodeChan Code = "chan"
+	// CodeMap rejects map types, literals and accesses.
+	CodeMap Code = "map"
+	// CodeSlice rejects slice types, slicing, append and make.
+	CodeSlice Code = "slice"
+	// CodeClosure rejects function literals (the IR has no environment to
+	// capture into).
+	CodeClosure Code = "closure"
+	// CodeInterface rejects interface types, method calls through an
+	// interface, and type assertions.
+	CodeInterface Code = "iface"
+	// CodeDefer rejects defer statements other than `defer wg.Done()`.
+	CodeDefer Code = "defer"
+	// CodeStmt rejects a statement form outside the subset (switch,
+	// select, range, labeled break/continue, fallthrough).
+	CodeStmt Code = "stmt"
+	// CodeExpr rejects an expression form outside the subset (pointer
+	// dereference, address-of outside an atomic call, composite literals
+	// in code, string operations).
+	CodeExpr Code = "expr"
+	// CodeCall rejects a call to an unknown function or unsupported
+	// builtin.
+	CodeCall Code = "call"
+	// CodeAtomic rejects a sync/atomic call whose address argument is not
+	// `&global` or `&global[index]` — the only shapes the word-addressed
+	// IR can name.
+	CodeAtomic Code = "atomic"
+	// CodeSpawn rejects a go statement whose callee is not a named
+	// top-level function of the file.
+	CodeSpawn Code = "spawn"
+	// CodeAssign rejects an assignment form outside the subset
+	// (multi-value returns, assignment to unsupported lvalues).
+	CodeAssign Code = "assign"
+)
+
+// Diag is one positioned diagnostic: a construct outside the certifiable
+// subset (or a parse/type error), with the exact file:line:col it was
+// found at.
+type Diag struct {
+	Pos  token.Position
+	Code Code
+	Msg  string
+}
+
+func (d Diag) Error() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Msg, d.Code)
+}
+
+// DiagList is every diagnostic found in one Lower call, reported together
+// rather than one at a time. It implements error so callers can return it
+// directly; match individual entries with errors.As on *DiagList or a
+// type assertion.
+type DiagList []Diag
+
+func (dl DiagList) Error() string {
+	if len(dl) == 0 {
+		return "frontend: no diagnostics"
+	}
+	lines := make([]string, len(dl))
+	for i, d := range dl {
+		lines[i] = d.Error()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// sorted returns the list ordered by source position (file, then line,
+// then column), which is the order a human reads them in.
+func (dl DiagList) sorted() DiagList {
+	sort.SliceStable(dl, func(i, j int) bool {
+		a, b := dl[i].Pos, dl[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return dl
+}
+
+// addf records a diagnostic at a position.
+func (l *lowerer) addf(pos token.Pos, code Code, format string, args ...any) {
+	l.diags = append(l.diags, Diag{
+		Pos:  l.fset.Position(pos),
+		Code: code,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,409 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"fenceplace/internal/ir"
+)
+
+// expr lowers an expression to the register holding its value. On a
+// diagnostic it returns a zero constant so lowering can continue and
+// collect further problems; the partial program is discarded anyway.
+func (f *fnLower) expr(e ast.Expr) ir.Reg {
+	// Constant folding first: go/types has already evaluated every
+	// constant expression (literals, named constants, len of arrays,
+	// arithmetic over them), so they all lower to a single Const.
+	if tv, ok := f.l.info.Types[e]; ok && tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int:
+			v, exact := constant.Int64Val(tv.Value)
+			if !exact {
+				f.l.addf(e.Pos(), CodeExpr, "constant does not fit in an int64 word")
+				return f.b.Const(0)
+			}
+			return f.b.Const(v)
+		case constant.Bool:
+			if constant.BoolVal(tv.Value) {
+				return f.b.Const(1)
+			}
+			return f.b.Const(0)
+		}
+		f.l.addf(e.Pos(), CodeExpr, "constant of type %s is outside the certifiable subset (only integer and bool constants lower)", tv.Type)
+		return f.b.Const(0)
+	}
+
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return f.expr(e.X)
+	case *ast.Ident:
+		return f.identValue(e)
+	case *ast.IndexExpr:
+		return f.indexValue(e)
+	case *ast.BinaryExpr:
+		return f.binary(e)
+	case *ast.UnaryExpr:
+		return f.unary(e)
+	case *ast.CallExpr:
+		return f.call(e, true)
+	case *ast.SelectorExpr:
+		f.l.addf(e.Pos(), CodeExpr, "field selection is outside the certifiable subset")
+		return f.b.Const(0)
+	case *ast.FuncLit:
+		f.l.addf(e.Pos(), CodeClosure, "closure capture is outside the certifiable subset")
+		return f.b.Const(0)
+	case *ast.TypeAssertExpr:
+		f.l.addf(e.Pos(), CodeInterface, "type assertion is outside the certifiable subset")
+		return f.b.Const(0)
+	case *ast.StarExpr:
+		f.l.addf(e.Pos(), CodeExpr, "pointer dereference is outside the certifiable subset")
+		return f.b.Const(0)
+	case *ast.SliceExpr:
+		f.l.addf(e.Pos(), CodeSlice, "slicing is outside the certifiable subset")
+		return f.b.Const(0)
+	case *ast.CompositeLit:
+		code := CodeExpr
+		if t := f.typeOf(e); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				code = CodeMap
+			case *types.Slice:
+				code = CodeSlice
+			}
+		}
+		f.l.addf(e.Pos(), code, "composite literals are outside the certifiable subset (globals take constant initializers)")
+		return f.b.Const(0)
+	}
+	f.l.addf(e.Pos(), CodeExpr, "expression form %T is outside the certifiable subset", e)
+	return f.b.Const(0)
+}
+
+func (f *fnLower) typeOf(e ast.Expr) types.Type {
+	if tv, ok := f.l.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func (f *fnLower) objOf(id *ast.Ident) types.Object {
+	if obj := f.l.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.l.info.Defs[id]
+}
+
+// identValue reads an identifier: a local's register, or a load of the
+// scalar global it names.
+func (f *fnLower) identValue(e *ast.Ident) ir.Reg {
+	obj := f.objOf(e)
+	if r, ok := f.vars[obj]; ok {
+		return r
+	}
+	if g, ok := f.l.globals[obj]; ok {
+		if g.Size != 1 {
+			f.l.addf(e.Pos(), CodeExpr, "array global %s must be indexed", e.Name)
+			return f.b.Const(0)
+		}
+		return f.b.Load(g)
+	}
+	f.l.addf(e.Pos(), CodeExpr, "%s does not lower to a register or global", e.Name)
+	return f.b.Const(0)
+}
+
+// indexValue reads base[idx]; the only indexable base is a global array.
+func (f *fnLower) indexValue(e *ast.IndexExpr) ir.Reg {
+	if t := f.typeOf(e.X); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			f.l.addf(e.Pos(), CodeMap, "map access is outside the certifiable subset")
+			return f.b.Const(0)
+		case *types.Slice:
+			f.l.addf(e.Pos(), CodeSlice, "slice access is outside the certifiable subset")
+			return f.b.Const(0)
+		}
+	}
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+		if g, ok := f.l.globals[f.objOf(id)]; ok {
+			return f.b.LoadIdx(g, f.expr(e.Index))
+		}
+	}
+	f.l.addf(e.Pos(), CodeExpr, "only package-level arrays can be indexed")
+	return f.b.Const(0)
+}
+
+// binOps maps Go's binary operators onto the IR's algebra. Two deliberate
+// divergences, documented on the package: / and % by zero yield 0, and
+// shift counts are masked to 0..63.
+var binOps = map[token.Token]ir.Op{
+	token.ADD: ir.OpAdd, token.SUB: ir.OpSub, token.MUL: ir.OpMul,
+	token.QUO: ir.OpDiv, token.REM: ir.OpMod,
+	token.AND: ir.OpAnd, token.OR: ir.OpOr, token.XOR: ir.OpXor,
+	token.SHL: ir.OpShl, token.SHR: ir.OpShr,
+	token.EQL: ir.OpEq, token.NEQ: ir.OpNe,
+	token.LSS: ir.OpLt, token.LEQ: ir.OpLe,
+	token.GTR: ir.OpGt, token.GEQ: ir.OpGe,
+}
+
+func (f *fnLower) binary(e *ast.BinaryExpr) ir.Reg {
+	if e.Op == token.LAND || e.Op == token.LOR {
+		return f.shortCircuit(e)
+	}
+	op, ok := binOps[e.Op]
+	if !ok {
+		f.l.addf(e.Pos(), CodeExpr, "operator %s is outside the certifiable subset", e.Op)
+		return f.b.Const(0)
+	}
+	if t := f.typeOf(e.X); t != nil && !isWord(t) && !isBool(t) {
+		code, why := classifyType(t, CodeExpr)
+		f.l.addf(e.Pos(), code, "operands of type %s: %s", t, why)
+		return f.b.Const(0)
+	}
+	x := f.expr(e.X)
+	y := f.expr(e.Y)
+	return f.b.Bin(op, x, y)
+}
+
+// shortCircuit lowers && and || with Go's evaluation order: the right
+// operand (and any memory it reads) is only evaluated when the left one
+// does not decide the result.
+func (f *fnLower) shortCircuit(e *ast.BinaryExpr) ir.Reg {
+	r := f.b.Move(f.expr(e.X))
+	if e.Op == token.LAND {
+		f.b.If(r, func() { f.b.MoveTo(r, f.expr(e.Y)) })
+	} else {
+		f.b.IfElse(r, func() {}, func() { f.b.MoveTo(r, f.expr(e.Y)) })
+	}
+	return r
+}
+
+func (f *fnLower) unary(e *ast.UnaryExpr) ir.Reg {
+	switch e.Op {
+	case token.NOT:
+		return f.b.Eq(f.expr(e.X), f.b.Const(0))
+	case token.SUB:
+		x := f.expr(e.X)
+		return f.b.Sub(f.b.Const(0), x)
+	case token.ADD:
+		return f.expr(e.X)
+	case token.XOR: // bitwise complement
+		x := f.expr(e.X)
+		return f.b.Xor(x, f.b.Const(-1))
+	case token.AND:
+		f.l.addf(e.Pos(), CodeExpr, "address-of is only supported as a sync/atomic argument (&global, &global[i])")
+		return f.b.Const(0)
+	case token.ARROW:
+		f.l.addf(e.Pos(), CodeChan, "channel receive is outside the certifiable subset")
+		return f.b.Const(0)
+	}
+	f.l.addf(e.Pos(), CodeExpr, "unary operator %s is outside the certifiable subset", e.Op)
+	return f.b.Const(0)
+}
+
+// call lowers a call expression. wantValue distinguishes value context
+// from statement context; in statement context the result register may be
+// ir.NoReg. The callee decides the lowering: a type conversion is a
+// no-op, sync/atomic maps to the IR's atomic instructions, WaitGroup
+// methods erase to joins, panic becomes Assert, and a named top-level
+// function becomes Call.
+func (f *fnLower) call(call *ast.CallExpr, wantValue bool) ir.Reg {
+	// Conversions: int(x) and int64(x) are no-ops on the word.
+	if tv, ok := f.l.info.Types[call.Fun]; ok && tv.IsType() {
+		t := tv.Type
+		if !isWord(t) && !isBool(t) {
+			code, why := classifyType(t, CodeExpr)
+			f.l.addf(call.Pos(), code, "conversion to %s: %s", t, why)
+			return f.b.Const(0)
+		}
+		if len(call.Args) == 1 {
+			return f.expr(call.Args[0])
+		}
+		return f.b.Const(0)
+	}
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := f.objOf(fun); obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return f.builtin(call, fun.Name)
+			}
+		}
+		fi := f.l.funcs[fun.Name]
+		if fi == nil {
+			f.l.addf(call.Pos(), CodeCall, "call to %s: not a lowered top-level function of this file", fun.Name)
+			return f.b.Const(0)
+		}
+		args := make([]ir.Reg, len(call.Args))
+		for i, a := range call.Args {
+			args[i] = f.expr(a)
+		}
+		if wantValue {
+			return f.b.Call(fun.Name, args...)
+		}
+		f.b.CallVoid(fun.Name, args...)
+		return ir.NoReg
+	case *ast.SelectorExpr:
+		return f.selectorCall(call, fun, wantValue)
+	case *ast.FuncLit:
+		f.l.addf(fun.Pos(), CodeClosure, "closure capture is outside the certifiable subset")
+		return f.b.Const(0)
+	}
+	f.l.addf(call.Pos(), CodeCall, "call form is outside the certifiable subset")
+	return f.b.Const(0)
+}
+
+func (f *fnLower) builtin(call *ast.CallExpr, name string) ir.Reg {
+	switch name {
+	case "panic":
+		// `panic("msg")` is the corpus's self-check idiom: an Assert that
+		// always fails on this path, tagging the outcome.
+		msg := "panic"
+		if len(call.Args) == 1 {
+			if tv, ok := f.l.info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				msg = constant.StringVal(tv.Value)
+			} else {
+				f.l.addf(call.Args[0].Pos(), CodeCall, "panic argument must be a constant string")
+			}
+		}
+		f.b.Assert(f.b.Const(0), msg)
+		return ir.NoReg
+	case "len":
+		// Array lengths are constants and fold before reaching here; this
+		// diag covers len of anything else.
+		f.l.addf(call.Pos(), CodeCall, "len is only supported on fixed-size arrays")
+		return f.b.Const(0)
+	case "print", "println":
+		for _, a := range call.Args {
+			f.b.Print(f.expr(a))
+		}
+		return ir.NoReg
+	}
+	f.l.addf(call.Pos(), CodeCall, "builtin %s is outside the certifiable subset", name)
+	return f.b.Const(0)
+}
+
+// selectorCall lowers pkg.Func and method calls. The interface check runs
+// first — it must fire even when the receiver expression is itself
+// outside the subset.
+func (f *fnLower) selectorCall(call *ast.CallExpr, sel *ast.SelectorExpr, wantValue bool) ir.Reg {
+	if s, ok := f.l.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if types.IsInterface(recv) {
+			f.l.addf(call.Pos(), CodeInterface, "method call through an interface is outside the certifiable subset")
+			return f.b.Const(0)
+		}
+		if isWaitGroup(recv) {
+			return f.wgCall(call, sel)
+		}
+		f.l.addf(call.Pos(), CodeCall, "method call %s.%s is outside the certifiable subset", types.TypeString(recv, nil), sel.Sel.Name)
+		return f.b.Const(0)
+	}
+	if obj := f.l.info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+		return f.atomicCall(call, sel.Sel.Name, wantValue)
+	}
+	f.l.addf(call.Pos(), CodeCall, "call to %s is outside the certifiable subset", sel.Sel.Name)
+	return f.b.Const(0)
+}
+
+// wgCall erases WaitGroup bookkeeping: Add and Done vanish (Spawn/Join
+// already carry the synchronization), Wait joins every outstanding spawn
+// of this function in spawn order — the frontend's join detection.
+func (f *fnLower) wgCall(call *ast.CallExpr, sel *ast.SelectorExpr) ir.Reg {
+	if !f.isWG(sel.X) {
+		f.l.addf(sel.Pos(), CodeCall, "WaitGroup calls must target a package-level var")
+		return f.b.Const(0)
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done":
+	case "Wait":
+		for _, tid := range f.spawned {
+			f.b.Join(tid)
+		}
+		f.spawned = f.spawned[:0]
+	default:
+		f.l.addf(call.Pos(), CodeCall, "WaitGroup method %s is outside the certifiable subset", sel.Sel.Name)
+	}
+	return ir.NoReg
+}
+
+// atomicCall maps the four modeled sync/atomic functions onto the IR's
+// atomic instructions. Note the AddInt64 result fix-up: Go's AddInt64
+// returns the new value, the IR's FetchAdd the old one.
+func (f *fnLower) atomicCall(call *ast.CallExpr, name string, wantValue bool) ir.Reg {
+	switch name {
+	case "LoadInt64":
+		g, idx, ok := f.atomicAddr(call.Args[0])
+		if !ok {
+			return f.b.Const(0)
+		}
+		if idx == ir.NoReg {
+			return f.b.Load(g)
+		}
+		return f.b.LoadIdx(g, idx)
+	case "StoreInt64":
+		g, idx, ok := f.atomicAddr(call.Args[0])
+		v := f.expr(call.Args[1])
+		if !ok {
+			return ir.NoReg
+		}
+		if idx == ir.NoReg {
+			f.b.Store(g, v)
+		} else {
+			f.b.StoreIdx(g, idx, v)
+		}
+		return ir.NoReg
+	case "CompareAndSwapInt64":
+		g, idx, ok := f.atomicAddr(call.Args[0])
+		oldv := f.expr(call.Args[1])
+		newv := f.expr(call.Args[2])
+		if !ok {
+			return f.b.Const(0)
+		}
+		return f.b.CAS(f.addrReg(g, idx), oldv, newv)
+	case "AddInt64":
+		g, idx, ok := f.atomicAddr(call.Args[0])
+		delta := f.expr(call.Args[1])
+		if !ok {
+			return f.b.Const(0)
+		}
+		old := f.b.FetchAdd(f.addrReg(g, idx), delta)
+		if !wantValue {
+			return ir.NoReg
+		}
+		return f.b.Add(old, delta)
+	}
+	f.l.addf(call.Pos(), CodeAtomic, "atomic.%s has no IR lowering", name)
+	return f.b.Const(0)
+}
+
+func (f *fnLower) addrReg(g *ir.Global, idx ir.Reg) ir.Reg {
+	if idx == ir.NoReg {
+		return f.b.AddrOf(g)
+	}
+	return f.b.AddrOfIdx(g, idx)
+}
+
+// atomicAddr resolves an atomic call's address argument, which must be
+// `&global` or `&global[idx]` — the only addresses the word-addressed IR
+// can name without general pointer support.
+func (f *fnLower) atomicAddr(arg ast.Expr) (*ir.Global, ir.Reg, bool) {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if ok && u.Op == token.AND {
+		switch x := ast.Unparen(u.X).(type) {
+		case *ast.Ident:
+			if g, ok := f.l.globals[f.objOf(x)]; ok && g.Size == 1 {
+				return g, ir.NoReg, true
+			}
+		case *ast.IndexExpr:
+			if id, isID := ast.Unparen(x.X).(*ast.Ident); isID {
+				if g, ok := f.l.globals[f.objOf(id)]; ok {
+					return g, f.expr(x.Index), true
+				}
+			}
+		}
+	}
+	f.l.addf(arg.Pos(), CodeAtomic, "atomic address must be &global or &global[i] over a package-level int64")
+	return nil, ir.NoReg, false
+}

@@ -1,0 +1,88 @@
+// Package frontend lowers a restricted subset of real Go source onto the
+// module's compiler IR, opening the certification pipeline to
+// user-submitted code instead of hand-assembled programs.
+//
+// The subset is the shape of the lock-free and mutual-exclusion code the
+// paper certifies:
+//
+//   - package-level `var` of int64/int scalars and fixed-size arrays
+//     (constant initializers) — these become the IR's shared Globals, in
+//     declaration order, plus package-level sync.WaitGroup variables;
+//   - top-level functions over int64/int parameters with at most one
+//     int64/int result; locals of int64/int/bool;
+//   - assignments, the IR's full binary-operator algebra (+ - * / % & | ^
+//     << >> and the six comparisons, with short-circuit && and ||),
+//     if/else, all non-range for forms with break and continue, goto and
+//     labels, return, and function calls;
+//   - `go f(args)` as thread spawn, joined by `wg.Wait()` on a
+//     package-level sync.WaitGroup (wg.Add and `defer wg.Done()` are
+//     recognized and erased — the IR's Spawn/Join already carry the
+//     synchronization);
+//   - sync/atomic's LoadInt64, StoreInt64, AddInt64 and
+//     CompareAndSwapInt64 on `&global` / `&global[i]` addresses, lowered
+//     to the IR's Load, Store, FetchAdd and CAS;
+//   - `if cond { panic("...") }` as the self-checking Assert idiom the
+//     corpus programs use.
+//
+// Everything outside the subset — channels, maps, slices, closures,
+// interfaces, general pointers, floats, strings, switch, select, range —
+// is rejected with a precise file:line:col diagnostic carrying a stable
+// Code; all diagnostics in a file are collected and reported together
+// (see DiagList), never one at a time, and an unsupported construct can
+// never lower silently wrong: any diagnostic aborts lowering before a
+// Program is produced.
+//
+// Two deliberate semantic divergences from Go, both total where Go traps:
+// division/modulo by zero yields 0 (the IR's interpreter never traps) and
+// shift counts are masked to 0..63. Programs relying on either are
+// outside the subset in spirit; nothing in the target corpus does.
+package frontend
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+
+	"fenceplace/internal/ir"
+)
+
+// Lower parses, type-checks and lowers one Go source file onto the IR.
+// filename is used for diagnostics only. On failure the returned error is
+// a DiagList with every problem found, each at its exact source position.
+// The resulting program is named after the Go package clause, its shared
+// globals appear in declaration order, and a `func main` (if present)
+// becomes the program's entry function.
+func Lower(filename string, src []byte) (*ir.Program, error) {
+	file, fset, info, diags := check(filename, src)
+	if len(diags) > 0 {
+		return nil, diags.sorted()
+	}
+	l := &lowerer{
+		fset:    fset,
+		info:    info,
+		pb:      ir.NewProgram(file.Name.Name),
+		globals: make(map[types.Object]*ir.Global),
+		wgs:     make(map[types.Object]bool),
+		funcs:   make(map[string]*fnInfo),
+	}
+	l.program(file)
+	if len(l.diags) > 0 {
+		return nil, l.diags.sorted()
+	}
+	prog, err := l.pb.Build()
+	if err != nil {
+		// A Validate failure on a diagnostics-clean lowering is a frontend
+		// bug; surface it as an error (never a panic, never a bad program).
+		return nil, fmt.Errorf("frontend: internal error: lowered program fails validation: %w", err)
+	}
+	return prog, nil
+}
+
+// LowerFile is Lower over a file on disk.
+func LowerFile(path string) (*ir.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(path, src)
+}

@@ -1,0 +1,287 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"fenceplace/internal/ir"
+)
+
+// lowerer is the per-file lowering state: the builder, the symbol maps
+// from type-checker objects to IR entities, and the accumulated
+// diagnostics. A diagnostic never aborts the walk — lowering continues so
+// every problem in the file is reported in one pass — but any diagnostic
+// discards the partially-built program.
+type lowerer struct {
+	fset  *token.FileSet
+	info  *types.Info
+	pb    *ir.ProgBuilder
+	diags DiagList
+
+	globals map[types.Object]*ir.Global // package-level int64 vars/arrays
+	wgs     map[types.Object]bool       // package-level sync.WaitGroup vars
+	funcs   map[string]*fnInfo          // top-level functions by name
+}
+
+// fnInfo is one registered top-level function: its AST, its function
+// builder (created up front so calls and spawns resolve regardless of
+// declaration order) and its signature shape.
+type fnInfo struct {
+	decl      *ast.FuncDecl
+	b         *ir.FB
+	nparams   int
+	hasResult bool
+}
+
+// program lowers one file: globals and function signatures first (so
+// bodies can reference everything regardless of order), then the bodies.
+func (l *lowerer) program(file *ast.File) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			l.genDecl(d)
+		case *ast.FuncDecl:
+			l.registerFunc(d)
+		}
+	}
+	for _, decl := range file.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Name == nil {
+			continue
+		}
+		fi := l.funcs[d.Name.Name]
+		if fi == nil || fi.decl != d {
+			continue
+		}
+		newFnLower(l, fi).lowerBody()
+	}
+	if l.funcs["main"] != nil {
+		l.pb.SetMain("main")
+	}
+}
+
+// genDecl lowers a package-level declaration group. Constants need no
+// lowering (go/types folds every use), imports were validated by the type
+// check, and type declarations are outside the subset.
+func (l *lowerer) genDecl(d *ast.GenDecl) {
+	switch d.Tok {
+	case token.IMPORT, token.CONST:
+		return
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			l.addf(ts.Pos(), CodeDecl, "type declaration %s is outside the certifiable subset", ts.Name.Name)
+		}
+	case token.VAR:
+		for _, spec := range d.Specs {
+			l.globalVar(spec.(*ast.ValueSpec))
+		}
+	}
+}
+
+// globalVar lowers one package-level var spec onto shared Globals, in
+// declaration order — the order fixes the layout of certification outcome
+// vectors, so it is part of the program's observable identity.
+func (l *lowerer) globalVar(spec *ast.ValueSpec) {
+	for i, name := range spec.Names {
+		obj := l.info.Defs[name]
+		if obj == nil || name.Name == "_" {
+			l.addf(name.Pos(), CodeGlobal, "blank or unresolved global is outside the certifiable subset")
+			continue
+		}
+		var init ast.Expr
+		if i < len(spec.Values) {
+			init = spec.Values[i]
+		}
+		t := obj.Type()
+		switch {
+		case isWaitGroup(t):
+			if init != nil {
+				l.addf(init.Pos(), CodeGlobal, "sync.WaitGroup globals take no initializer")
+			}
+			l.wgs[obj] = true
+		case isWord(t):
+			var vals []int64
+			if init != nil {
+				v, ok := l.constInt(init)
+				if !ok {
+					l.addf(init.Pos(), CodeGlobal, "global initializer must be a constant expression")
+					continue
+				}
+				vals = []int64{v}
+			}
+			l.globals[obj] = l.pb.Global(name.Name, 1, vals...)
+		default:
+			if arr, ok := t.Underlying().(*types.Array); ok && isWord(arr.Elem()) {
+				size := int(arr.Len())
+				if size < 1 {
+					l.addf(name.Pos(), CodeGlobal, "global array %s must have at least one element", name.Name)
+					continue
+				}
+				vals, ok := l.arrayInit(init, size)
+				if !ok {
+					continue
+				}
+				l.globals[obj] = l.pb.Global(name.Name, size, vals...)
+				continue
+			}
+			code, why := classifyType(t, CodeGlobal)
+			l.addf(name.Pos(), code, "global %s of type %s is outside the certifiable subset: %s", name.Name, t, why)
+		}
+	}
+}
+
+// arrayInit extracts the constant initializer of an array global, or nil
+// for zero initialization.
+func (l *lowerer) arrayInit(init ast.Expr, size int) ([]int64, bool) {
+	if init == nil {
+		return nil, true
+	}
+	lit, ok := init.(*ast.CompositeLit)
+	if !ok {
+		l.addf(init.Pos(), CodeGlobal, "array global initializer must be a composite literal of constants")
+		return nil, false
+	}
+	if len(lit.Elts) > size {
+		l.addf(init.Pos(), CodeGlobal, "array literal has %d elements for size %d", len(lit.Elts), size)
+		return nil, false
+	}
+	var vals []int64
+	for _, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			l.addf(kv.Pos(), CodeGlobal, "keyed array elements are outside the certifiable subset")
+			return nil, false
+		}
+		v, ok := l.constInt(elt)
+		if !ok {
+			l.addf(elt.Pos(), CodeGlobal, "array element initializer must be a constant expression")
+			return nil, false
+		}
+		vals = append(vals, v)
+	}
+	return vals, true
+}
+
+// registerFunc validates a function's shape and creates its IR builder so
+// later bodies can call and spawn it by name.
+func (l *lowerer) registerFunc(d *ast.FuncDecl) {
+	if d.Recv != nil {
+		l.addf(d.Pos(), CodeDecl, "method declarations are outside the certifiable subset")
+		return
+	}
+	name := d.Name.Name
+	if name == "init" {
+		l.addf(d.Pos(), CodeDecl, "init functions are outside the certifiable subset")
+		return
+	}
+	if d.Body == nil {
+		l.addf(d.Pos(), CodeDecl, "function %s has no body (external linkage is outside the subset)", name)
+		return
+	}
+	obj := l.info.Defs[d.Name]
+	if obj == nil {
+		return // a type error elsewhere already covers this
+	}
+	sig := obj.Type().(*types.Signature)
+	ok := true
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !isWord(p.Type()) {
+			code, why := classifyType(p.Type(), CodeDecl)
+			l.addf(p.Pos(), code, "parameter %s of %s has type %s: %s", p.Name(), name, p.Type(), why)
+			ok = false
+		}
+	}
+	switch {
+	case sig.Results().Len() > 1:
+		l.addf(d.Pos(), CodeDecl, "function %s returns %d values; the subset allows at most one", name, sig.Results().Len())
+		ok = false
+	case sig.Results().Len() == 1 && !isWord(sig.Results().At(0).Type()):
+		code, why := classifyType(sig.Results().At(0).Type(), CodeDecl)
+		l.addf(d.Pos(), code, "result of %s has type %s: %s", name, sig.Results().At(0).Type(), why)
+		ok = false
+	case sig.Results().Len() == 1 && sig.Results().At(0).Name() != "":
+		// A named result makes the bare `return` legal with a meaning the
+		// lowering would get wrong; reject rather than lower silently wrong.
+		l.addf(d.Pos(), CodeDecl, "named results are outside the certifiable subset")
+		ok = false
+	}
+	if name == "main" && (sig.Params().Len() > 0 || sig.Results().Len() > 0) {
+		l.addf(d.Pos(), CodeDecl, "main must take no parameters and return nothing")
+		ok = false
+	}
+	if !ok {
+		return
+	}
+	l.funcs[name] = &fnInfo{
+		decl:      d,
+		b:         l.pb.Func(name, sig.Params().Len()),
+		nparams:   sig.Params().Len(),
+		hasResult: sig.Results().Len() == 1,
+	}
+}
+
+// constInt evaluates a constant expression to its word value using the
+// type checker's folding; ok is false for non-constant expressions.
+func (l *lowerer) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := l.info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int:
+		v, exact := constant.Int64Val(tv.Value)
+		return v, exact
+	case constant.Bool:
+		if constant.BoolVal(tv.Value) {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// isWord reports whether t occupies exactly one IR word: int64 and int
+// (the subset treats both as the 64-bit machine word).
+func isWord(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Int64, types.UntypedInt:
+		return true
+	}
+	return false
+}
+
+// isBool reports whether t is boolean; bools lower to 0/1 words.
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+// classifyType maps an unsupported type onto its rejection code and a
+// one-line reason; fallback is the caller's context code (global vs local
+// declarations).
+func classifyType(t types.Type, fallback Code) (Code, string) {
+	switch t.Underlying().(type) {
+	case *types.Chan:
+		return CodeChan, "channels are not lowered (the IR synchronizes via atomics and spawn/join)"
+	case *types.Map:
+		return CodeMap, "maps are not lowered (shared state must be int64 globals and arrays)"
+	case *types.Slice:
+		return CodeSlice, "slices are not lowered; use a fixed-size array global"
+	case *types.Signature:
+		return CodeClosure, "function values are not lowered"
+	case *types.Interface:
+		return CodeInterface, "interfaces are not lowered"
+	case *types.Pointer:
+		return CodeExpr, "pointers appear only as &global arguments to sync/atomic calls"
+	case *types.Struct:
+		return fallback, "structs are not lowered (sync.WaitGroup is the one exception)"
+	}
+	return fallback, "only int64, int and bool lower to IR words"
+}

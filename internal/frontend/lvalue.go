@@ -1,0 +1,103 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fenceplace/internal/ir"
+)
+
+// lval is a resolved assignment target: a local register, a scalar
+// global, or a global-array element (with the index already evaluated —
+// Go's two-phase assignment rule).
+type lval struct {
+	kind lvKind
+	obj  types.Object // lvLocal
+	g    *ir.Global   // lvGlobal, lvGlobalIdx
+	idx  ir.Reg       // lvGlobalIdx
+}
+
+type lvKind int
+
+const (
+	lvLocal lvKind = iota
+	lvGlobal
+	lvGlobalIdx
+)
+
+// lvalue resolves an assignable expression; ok is false after a
+// diagnostic.
+func (f *fnLower) lvalue(e ast.Expr) (lval, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := f.objOf(e)
+		if _, isLocal := f.vars[obj]; isLocal {
+			return lval{kind: lvLocal, obj: obj}, true
+		}
+		if g, ok := f.l.globals[obj]; ok {
+			if g.Size != 1 {
+				f.l.addf(e.Pos(), CodeAssign, "array global %s must be assigned element-wise", e.Name)
+				return lval{}, false
+			}
+			return lval{kind: lvGlobal, g: g}, true
+		}
+		f.l.addf(e.Pos(), CodeAssign, "%s is not an assignable local or global", e.Name)
+		return lval{}, false
+	case *ast.IndexExpr:
+		if t := f.typeOf(e.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				f.l.addf(e.Pos(), CodeMap, "map access is outside the certifiable subset")
+				return lval{}, false
+			case *types.Slice:
+				f.l.addf(e.Pos(), CodeSlice, "slice access is outside the certifiable subset")
+				return lval{}, false
+			}
+		}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if g, ok := f.l.globals[f.objOf(id)]; ok {
+				return lval{kind: lvGlobalIdx, g: g, idx: f.expr(e.Index)}, true
+			}
+		}
+		f.l.addf(e.Pos(), CodeAssign, "only package-level arrays can be index-assigned")
+		return lval{}, false
+	case *ast.StarExpr:
+		f.l.addf(e.Pos(), CodeExpr, "assignment through a pointer is outside the certifiable subset")
+		return lval{}, false
+	case *ast.SelectorExpr:
+		f.l.addf(e.Pos(), CodeAssign, "field assignment is outside the certifiable subset")
+		return lval{}, false
+	}
+	f.l.addf(e.Pos(), CodeAssign, "assignment target form %T is outside the certifiable subset", e)
+	return lval{}, false
+}
+
+func (f *fnLower) loadLV(lv lval) ir.Reg {
+	switch lv.kind {
+	case lvLocal:
+		return f.vars[lv.obj]
+	case lvGlobal:
+		return f.b.Load(lv.g)
+	default:
+		return f.b.LoadIdx(lv.g, lv.idx)
+	}
+}
+
+func (f *fnLower) storeLV(lv lval, val ir.Reg) {
+	switch lv.kind {
+	case lvLocal:
+		f.b.MoveTo(f.vars[lv.obj], val)
+	case lvGlobal:
+		f.b.Store(lv.g, val)
+	default:
+		f.b.StoreIdx(lv.g, lv.idx, val)
+	}
+}
+
+// assignTo stores val into the target named by id (used for the
+// redeclared names of a mixed := statement).
+func (f *fnLower) assignTo(id *ast.Ident, val ir.Reg) {
+	if lv, ok := f.lvalue(id); ok {
+		f.storeLV(lv, val)
+	}
+}

@@ -1,0 +1,430 @@
+package frontend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fenceplace/internal/ir"
+)
+
+// fnLower lowers one function body. Statement lowering is total: a
+// construct outside the subset records a diagnostic and keeps walking, so
+// one pass reports every problem; the partial IR it leaves behind is
+// discarded with the program.
+type fnLower struct {
+	l  *lowerer
+	b  *ir.FB
+	fi *fnInfo
+
+	vars    map[types.Object]ir.Reg // locals and parameters
+	labels  map[string]*ir.Block    // goto targets, created on first mention
+	spawned []ir.Reg                // outstanding spawn tids, in spawn order
+	loops   []loopFrame             // innermost loop last
+}
+
+// loopFrame is the break/continue targets of one enclosing for loop.
+type loopFrame struct {
+	brk, cont *ir.Block
+}
+
+func newFnLower(l *lowerer, fi *fnInfo) *fnLower {
+	return &fnLower{
+		l: l, b: fi.b, fi: fi,
+		vars:   make(map[types.Object]ir.Reg),
+		labels: make(map[string]*ir.Block),
+	}
+}
+
+// lowerBody binds the parameters and lowers the statement list. A
+// fallthrough end gets the implicit return (for value-returning functions
+// Go guarantees the end is unreachable — the operand is arbitrary).
+func (f *fnLower) lowerBody() {
+	i := 0
+	for _, field := range f.fi.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := f.l.info.Defs[name]; obj != nil {
+				f.vars[obj] = f.b.Param(i)
+			}
+			i++
+		}
+	}
+	f.stmts(f.fi.decl.Body.List)
+	if f.b.InBlock() {
+		if f.fi.hasResult {
+			f.b.Ret(f.b.Const(0))
+		} else {
+			f.b.RetVoid()
+		}
+	}
+}
+
+// stmts lowers a statement list. Statements after a terminator (return,
+// goto) are lowered into a fresh unreachable block so their diagnostics
+// still surface — "report everything" beats "stop at the first".
+func (f *fnLower) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		if !f.b.InBlock() {
+			f.b.StartBlock(f.b.NewBlock("dead"))
+		}
+		f.stmt(s)
+	}
+}
+
+func (f *fnLower) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		f.stmts(s.List)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		f.declStmt(s)
+	case *ast.AssignStmt:
+		f.assign(s)
+	case *ast.IncDecStmt:
+		f.incDec(s)
+	case *ast.ExprStmt:
+		f.exprStmt(s)
+	case *ast.IfStmt:
+		f.ifStmt(s)
+	case *ast.ForStmt:
+		f.forStmt(s)
+	case *ast.ReturnStmt:
+		f.returnStmt(s)
+	case *ast.BranchStmt:
+		f.branch(s)
+	case *ast.LabeledStmt:
+		f.labeled(s)
+	case *ast.GoStmt:
+		f.goStmt(s)
+	case *ast.DeferStmt:
+		f.deferStmt(s)
+	case *ast.SendStmt:
+		f.l.addf(s.Pos(), CodeChan, "channel send is outside the certifiable subset")
+	case *ast.SelectStmt:
+		f.l.addf(s.Pos(), CodeChan, "select is outside the certifiable subset")
+	case *ast.RangeStmt:
+		f.l.addf(s.Pos(), CodeStmt, "range loops are outside the certifiable subset (use a counted for)")
+	case *ast.SwitchStmt:
+		f.l.addf(s.Pos(), CodeStmt, "switch is outside the certifiable subset (use if/else)")
+	case *ast.TypeSwitchStmt:
+		f.l.addf(s.Pos(), CodeInterface, "type switch is outside the certifiable subset")
+	default:
+		f.l.addf(s.Pos(), CodeStmt, "statement form %T is outside the certifiable subset", s)
+	}
+}
+
+// declStmt lowers a local var declaration; local consts fold away.
+func (f *fnLower) declStmt(s *ast.DeclStmt) {
+	d, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		f.l.addf(s.Pos(), CodeDecl, "declaration form is outside the certifiable subset")
+		return
+	}
+	switch d.Tok {
+	case token.CONST:
+		return
+	case token.TYPE:
+		f.l.addf(s.Pos(), CodeDecl, "local type declarations are outside the certifiable subset")
+		return
+	}
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			var init ast.Expr
+			if i < len(vs.Values) {
+				init = vs.Values[i]
+			}
+			var val ir.Reg
+			if init != nil {
+				val = f.expr(init)
+			} else {
+				val = f.b.Const(0)
+			}
+			if name.Name == "_" {
+				continue
+			}
+			if obj := f.l.info.Defs[name]; obj != nil {
+				f.defineObj(name, obj, val)
+			}
+		}
+	}
+}
+
+// defineObj binds a new local to a fresh register initialized from val.
+// Every local gets its own register (updated in place by assignments), so
+// loops re-executing the definition just overwrite it — Go semantics for
+// word-typed values.
+func (f *fnLower) defineObj(id *ast.Ident, obj types.Object, val ir.Reg) {
+	t := obj.Type()
+	if !isWord(t) && !isBool(t) {
+		code, why := classifyType(t, CodeVarType)
+		f.l.addf(id.Pos(), code, "local %s of type %s: %s", id.Name, t, why)
+		return
+	}
+	f.vars[obj] = f.b.Move(val)
+}
+
+// assignOps maps the op-assign tokens onto IR operators.
+var assignOps = map[token.Token]ir.Op{
+	token.ADD_ASSIGN: ir.OpAdd, token.SUB_ASSIGN: ir.OpSub,
+	token.MUL_ASSIGN: ir.OpMul, token.QUO_ASSIGN: ir.OpDiv,
+	token.REM_ASSIGN: ir.OpMod, token.AND_ASSIGN: ir.OpAnd,
+	token.OR_ASSIGN: ir.OpOr, token.XOR_ASSIGN: ir.OpXor,
+	token.SHL_ASSIGN: ir.OpShl, token.SHR_ASSIGN: ir.OpShr,
+}
+
+func (f *fnLower) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		if len(s.Rhs) != len(s.Lhs) {
+			f.l.addf(s.Pos(), CodeAssign, "multi-value assignment (%d targets, %d values) is outside the certifiable subset", len(s.Lhs), len(s.Rhs))
+			return
+		}
+		vals := make([]ir.Reg, len(s.Rhs))
+		for i, r := range s.Rhs {
+			vals[i] = f.expr(r)
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				f.l.addf(lhs.Pos(), CodeAssign, "unsupported := target")
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			if obj := f.l.info.Defs[id]; obj != nil {
+				f.defineObj(id, obj, vals[i])
+				continue
+			}
+			// Redeclaration in a mixed :=; plain assignment.
+			f.assignTo(id, vals[i])
+		}
+	case token.ASSIGN:
+		if len(s.Rhs) != len(s.Lhs) {
+			f.l.addf(s.Pos(), CodeAssign, "multi-value assignment (%d targets, %d values) is outside the certifiable subset", len(s.Lhs), len(s.Rhs))
+			return
+		}
+		// Go's two-phase assignment: left-hand index operands first, then
+		// the right-hand values, then the stores.
+		lvs := make([]*lval, len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if lv, ok := f.lvalue(lhs); ok {
+				lvs[i] = &lv
+			}
+		}
+		vals := make([]ir.Reg, len(s.Rhs))
+		for i, r := range s.Rhs {
+			vals[i] = f.expr(r)
+		}
+		for i, lv := range lvs {
+			if lv != nil {
+				f.storeLV(*lv, vals[i])
+			}
+		}
+	default: // op-assign: x += v and friends
+		op, ok := assignOps[s.Tok]
+		if !ok {
+			f.l.addf(s.Pos(), CodeAssign, "assignment operator %s is outside the certifiable subset", s.Tok)
+			return
+		}
+		lv, lok := f.lvalue(s.Lhs[0])
+		var cur ir.Reg
+		if lok {
+			cur = f.loadLV(lv)
+		}
+		val := f.expr(s.Rhs[0])
+		if lok {
+			f.storeLV(lv, f.b.Bin(op, cur, val))
+		}
+	}
+}
+
+func (f *fnLower) incDec(s *ast.IncDecStmt) {
+	lv, ok := f.lvalue(s.X)
+	if !ok {
+		return
+	}
+	cur := f.loadLV(lv)
+	one := f.b.Const(1)
+	if s.Tok == token.INC {
+		f.storeLV(lv, f.b.Add(cur, one))
+	} else {
+		f.storeLV(lv, f.b.Sub(cur, one))
+	}
+}
+
+func (f *fnLower) exprStmt(s *ast.ExprStmt) {
+	switch e := ast.Unparen(s.X).(type) {
+	case *ast.CallExpr:
+		f.call(e, false)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			f.l.addf(e.Pos(), CodeChan, "channel receive is outside the certifiable subset")
+			return
+		}
+		f.l.addf(s.Pos(), CodeStmt, "expression statement is outside the certifiable subset")
+	default:
+		f.l.addf(s.Pos(), CodeStmt, "expression statement is outside the certifiable subset")
+	}
+}
+
+func (f *fnLower) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		f.stmt(s.Init)
+	}
+	cond := f.expr(s.Cond)
+	if s.Else == nil {
+		f.b.If(cond, func() { f.stmts(s.Body.List) })
+		return
+	}
+	f.b.IfElse(cond,
+		func() { f.stmts(s.Body.List) },
+		func() { f.stmt(s.Else) }) // a block or an else-if chain
+}
+
+// forStmt lowers every non-range for form with explicit head/body/post/
+// exit blocks; break and continue target the exit and post blocks of the
+// innermost frame. (FB.While has no break plumbing, hence the manual CFG.)
+func (f *fnLower) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		f.stmt(s.Init)
+	}
+	head := f.b.NewBlock("for.head")
+	body := f.b.NewBlock("for.body")
+	post := f.b.NewBlock("for.post")
+	exit := f.b.NewBlock("for.exit")
+	f.b.Jmp(head)
+	f.b.StartBlock(head)
+	if s.Cond != nil {
+		f.b.Br(f.expr(s.Cond), body, exit)
+	} else {
+		f.b.Jmp(body)
+	}
+	f.b.StartBlock(body)
+	f.loops = append(f.loops, loopFrame{brk: exit, cont: post})
+	f.stmts(s.Body.List)
+	f.loops = f.loops[:len(f.loops)-1]
+	if f.b.InBlock() {
+		f.b.Jmp(post)
+	}
+	f.b.StartBlock(post)
+	if s.Post != nil {
+		f.stmt(s.Post)
+	}
+	f.b.Jmp(head)
+	f.b.StartBlock(exit)
+}
+
+func (f *fnLower) returnStmt(s *ast.ReturnStmt) {
+	switch len(s.Results) {
+	case 0:
+		f.b.RetVoid()
+	case 1:
+		f.b.Ret(f.expr(s.Results[0]))
+	default:
+		f.l.addf(s.Pos(), CodeStmt, "multi-value return is outside the certifiable subset")
+		f.b.RetVoid()
+	}
+}
+
+func (f *fnLower) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			f.l.addf(s.Pos(), CodeStmt, "labeled break is outside the certifiable subset")
+			return
+		}
+		if len(f.loops) == 0 {
+			f.l.addf(s.Pos(), CodeStmt, "break outside a for loop")
+			return
+		}
+		f.b.Jmp(f.loops[len(f.loops)-1].brk)
+	case token.CONTINUE:
+		if s.Label != nil {
+			f.l.addf(s.Pos(), CodeStmt, "labeled continue is outside the certifiable subset")
+			return
+		}
+		if len(f.loops) == 0 {
+			f.l.addf(s.Pos(), CodeStmt, "continue outside a for loop")
+			return
+		}
+		f.b.Jmp(f.loops[len(f.loops)-1].cont)
+	case token.GOTO:
+		f.b.Jmp(f.label(s.Label.Name))
+	default: // fallthrough
+		f.l.addf(s.Pos(), CodeStmt, "fallthrough is outside the certifiable subset")
+	}
+}
+
+// label returns the block for a label, creating it on first mention (a
+// goto may precede its label; go/types guarantees every label resolves).
+func (f *fnLower) label(name string) *ir.Block {
+	if blk, ok := f.labels[name]; ok {
+		return blk
+	}
+	blk := f.b.NewBlock("label." + name)
+	f.labels[name] = blk
+	return blk
+}
+
+func (f *fnLower) labeled(s *ast.LabeledStmt) {
+	blk := f.label(s.Label.Name)
+	if f.b.InBlock() {
+		f.b.Jmp(blk)
+	}
+	f.b.StartBlock(blk)
+	f.stmt(s.Stmt)
+}
+
+// goStmt lowers `go f(args)` to Spawn, recording the tid for the
+// wg.Wait() join.
+func (f *fnLower) goStmt(s *ast.GoStmt) {
+	fun := ast.Unparen(s.Call.Fun)
+	if fl, ok := fun.(*ast.FuncLit); ok {
+		f.l.addf(fl.Pos(), CodeClosure, "closure capture in a go statement is outside the certifiable subset (spawn a named top-level function)")
+		return
+	}
+	id, ok := fun.(*ast.Ident)
+	var fi *fnInfo
+	if ok {
+		fi = f.l.funcs[id.Name]
+	}
+	if fi == nil {
+		f.l.addf(s.Call.Pos(), CodeSpawn, "go requires a named top-level function of this file")
+		return
+	}
+	args := make([]ir.Reg, len(s.Call.Args))
+	for i, a := range s.Call.Args {
+		args[i] = f.expr(a)
+	}
+	f.spawned = append(f.spawned, f.b.Spawn(id.Name, args...))
+}
+
+// deferStmt: the one allowed defer is `defer wg.Done()`, erased because
+// Spawn/Join already carry the join synchronization.
+func (f *fnLower) deferStmt(s *ast.DeferStmt) {
+	if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && f.isWG(sel.X) {
+		return
+	}
+	f.l.addf(s.Pos(), CodeDefer, "defer is outside the certifiable subset (except `defer wg.Done()`)")
+}
+
+// isWG reports whether e names a package-level sync.WaitGroup.
+func (f *fnLower) isWG(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return f.l.wgs[f.l.info.Uses[id]]
+}

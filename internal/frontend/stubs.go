@@ -1,0 +1,99 @@
+package frontend
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// The type checker needs package objects for the two imports the subset
+// allows, but the frontend must not depend on a Go build environment (no
+// GOROOT, no export data) — submitted source is checked hermetically. So
+// the importer below synthesizes exactly the slivers of sync and
+// sync/atomic the subset models:
+//
+//	sync/atomic: LoadInt64, StoreInt64, AddInt64, CompareAndSwapInt64
+//	sync:        type WaitGroup with Add(int), Done(), Wait()
+//
+// Referencing anything else from these packages ("undefined:
+// atomic.LoadInt32") is a type error with a position, which is the
+// diagnostic we want anyway: those functions have no IR lowering.
+
+// stubImporter resolves the allowed imports to the synthesized packages
+// and rejects everything else.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (im stubImporter) Import(path string) (*types.Package, error) {
+	if p := im.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("import %q is outside the certifiable subset (only \"sync\" and \"sync/atomic\" are allowed)", path)
+}
+
+// newStubImporter builds the synthetic packages once per Lower call (they
+// are cheap and keeping them call-local keeps Lower safe for concurrent
+// use without shared state).
+func newStubImporter() stubImporter {
+	int64T := types.Typ[types.Int64]
+	intT := types.Typ[types.Int]
+	boolT := types.Typ[types.Bool]
+	ptrInt64 := types.NewPointer(int64T)
+
+	atomicPkg := types.NewPackage("sync/atomic", "atomic")
+	v := func(pkg *types.Package, name string, t types.Type) *types.Var {
+		return types.NewVar(token.NoPos, pkg, name, t)
+	}
+	fn := func(pkg *types.Package, name string, params, results []*types.Var) {
+		sig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(params...), types.NewTuple(results...), false)
+		pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, name, sig))
+	}
+	fn(atomicPkg, "LoadInt64",
+		[]*types.Var{v(atomicPkg, "addr", ptrInt64)},
+		[]*types.Var{v(atomicPkg, "", int64T)})
+	fn(atomicPkg, "StoreInt64",
+		[]*types.Var{v(atomicPkg, "addr", ptrInt64), v(atomicPkg, "val", int64T)},
+		nil)
+	fn(atomicPkg, "AddInt64",
+		[]*types.Var{v(atomicPkg, "addr", ptrInt64), v(atomicPkg, "delta", int64T)},
+		[]*types.Var{v(atomicPkg, "new", int64T)})
+	fn(atomicPkg, "CompareAndSwapInt64",
+		[]*types.Var{v(atomicPkg, "addr", ptrInt64), v(atomicPkg, "old", int64T), v(atomicPkg, "new", int64T)},
+		[]*types.Var{v(atomicPkg, "swapped", boolT)})
+	atomicPkg.MarkComplete()
+
+	syncPkg := types.NewPackage("sync", "sync")
+	wgName := types.NewTypeName(token.NoPos, syncPkg, "WaitGroup", nil)
+	wg := types.NewNamed(wgName, types.NewStruct(nil, nil), nil)
+	meth := func(name string, params ...*types.Var) {
+		recv := types.NewVar(token.NoPos, syncPkg, "wg", types.NewPointer(wg))
+		sig := types.NewSignatureType(recv, nil, nil, types.NewTuple(params...), nil, false)
+		wg.AddMethod(types.NewFunc(token.NoPos, syncPkg, name, sig))
+	}
+	meth("Add", v(syncPkg, "delta", intT))
+	meth("Done")
+	meth("Wait")
+	syncPkg.Scope().Insert(wgName)
+	syncPkg.MarkComplete()
+
+	return stubImporter{pkgs: map[string]*types.Package{
+		"sync/atomic": atomicPkg,
+		"sync":        syncPkg,
+	}}
+}
+
+// isWaitGroup reports whether t is (a pointer to) the synthesized
+// sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

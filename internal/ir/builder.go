@@ -103,6 +103,13 @@ func (b *FB) NewBlock(hint string) *Block {
 // StartBlock makes blk the current emission target.
 func (b *FB) StartBlock(blk *Block) { b.cur = blk }
 
+// InBlock reports whether the builder has a current emission target, i.e.
+// the last emitted instruction was not a terminator. Frontends lowering a
+// source language use it to detect fallthrough function ends and to park
+// statements that follow a return or goto in fresh (unreachable) blocks
+// instead of tripping Emit's terminator check.
+func (b *FB) InBlock() bool { return b.cur != nil }
+
 // Emit appends a raw instruction to the current block. Most callers should
 // prefer the typed helpers below.
 func (b *FB) Emit(in *Instr) *Instr {

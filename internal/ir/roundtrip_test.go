@@ -1,0 +1,64 @@
+package ir_test
+
+import (
+	"testing"
+
+	"fenceplace/internal/ir"
+	"fenceplace/internal/litmus"
+	"fenceplace/internal/progs"
+)
+
+// corpusPrograms is every program the repo can name: the litmus suite
+// and the full evaluation registry at default parameters.
+func corpusPrograms() map[string]*ir.Program {
+	out := make(map[string]*ir.Program)
+	for _, t := range litmus.All() {
+		out["litmus/"+t.Name] = t.Prog
+	}
+	for _, m := range progs.All() {
+		out["progs/"+m.Name] = m.Default()
+	}
+	return out
+}
+
+// TestRoundTripCorpus pins the textual format as a lossless codec over
+// the full corpus: Format → Parse → Format must be byte-identical.
+func TestRoundTripCorpus(t *testing.T) {
+	for name, prog := range corpusPrograms() {
+		t.Run(name, func(t *testing.T) {
+			text := ir.Format(prog)
+			back, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(Format(%s)): %v", name, err)
+			}
+			again := ir.Format(back)
+			if again != text {
+				t.Fatalf("round trip not byte-identical for %s:\n--- first ---\n%s\n--- second ---\n%s", name, text, again)
+			}
+		})
+	}
+}
+
+// FuzzRoundTrip feeds the parser arbitrary text (seeded with the whole
+// corpus) and checks the invariant that survives a successful parse:
+// formatting is a fixed point, i.e. Format(Parse(Format(p))) == Format(p),
+// and the reformatted text still parses.
+func FuzzRoundTrip(f *testing.F) {
+	for _, prog := range corpusPrograms() {
+		f.Add(ir.Format(prog))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ir.Parse(src)
+		if err != nil {
+			return // invalid input is not the parser's round-trip contract
+		}
+		text := ir.Format(prog)
+		back, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not parse back: %v\n%s", err, text)
+		}
+		if again := ir.Format(back); again != text {
+			t.Fatalf("format is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+		}
+	})
+}

@@ -39,6 +39,9 @@ const (
 	Splash
 	// LockFree is a Table III lock-free program.
 	LockFree
+	// Extra is outside the paper's evaluation set: hand-built originals
+	// for the real-Go frontend's differential twins (testdata/gosource).
+	Extra
 )
 
 func (k Kind) String() string {
@@ -49,6 +52,8 @@ func (k Kind) String() string {
 		return "splash"
 	case LockFree:
 		return "lockfree"
+	case Extra:
+		return "extra"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

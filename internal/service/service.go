@@ -135,12 +135,13 @@ type Budget struct {
 }
 
 // Request is one certification submission, as decoded off the wire.
-// Exactly one of Program (inline textual IR) and Corpus (a named corpus
-// program, instantiated at Threads/Size like fencecheck -prog) must be
-// set.
+// Exactly one of Program (inline textual IR), GoSource (restricted real-Go
+// source, lowered by the frontend) and Corpus (a named corpus program,
+// instantiated at Threads/Size like fencecheck -prog) must be set.
 type Request struct {
-	Program string `json:"program,omitempty"` // textual IR
-	Corpus  string `json:"corpus,omitempty"`  // named corpus program
+	Program  string `json:"program,omitempty"`   // textual IR
+	GoSource string `json:"go_source,omitempty"` // restricted real-Go source
+	Corpus   string `json:"corpus,omitempty"`    // named corpus program
 	Threads int    `json:"threads,omitempty"` // corpus instantiation (default 2)
 	Size    int64  `json:"size,omitempty"`    // corpus instantiation (0 = reduced default)
 
@@ -357,8 +358,14 @@ func resolveStrategies(s string) ([]fenceplace.Strategy, error) {
 // program is built, the strategy set parsed, and every budget clamped to
 // the server ceilings.
 func (m *Manager) buildSpec(req *Request) (*jobSpec, error) {
-	if (req.Program == "") == (req.Corpus == "") {
-		return nil, errors.New("exactly one of \"program\" (inline IR) and \"corpus\" (named program) must be set")
+	set := 0
+	for _, s := range []string{req.Program, req.GoSource, req.Corpus} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("exactly one of \"program\" (inline IR), \"go_source\" (restricted Go) and \"corpus\" (named program) must be set")
 	}
 	spec := &jobSpec{entry: req.Entry}
 
@@ -385,6 +392,18 @@ func (m *Manager) buildSpec(req *Request) (*jobSpec, error) {
 		}
 		spec.name = req.Corpus
 		spec.prog = meta.Build(pp)
+	case req.GoSource != "":
+		// Lowering is canonical, so byte-different Go sources of the same
+		// program coalesce for free: coalesceKey hashes the lowered IR.
+		p, err := fenceplace.ParseGo("request.go", []byte(req.GoSource))
+		if err != nil {
+			return nil, fmt.Errorf("go_source: %w", err)
+		}
+		spec.name = p.Name
+		if spec.name == "" {
+			spec.name = "submitted"
+		}
+		spec.prog = p
 	default:
 		p, err := fenceplace.Parse(req.Program)
 		if err != nil {

@@ -166,6 +166,63 @@ func TestCoalescingSingleFlight(t *testing.T) {
 	}
 }
 
+// goSourceSB returns a store-buffering program in restricted real Go.
+// The comment knob makes the bytes differ while the lowered IR — and so
+// the coalescing key — stays identical.
+func goSourceSB(comment string) string {
+	return "package sb\n\n// " + comment + "\n\nimport \"sync\"\n\n" +
+		"var (\n\tx int64\n\ty int64\n\tr0 int64\n\tr1 int64\n)\n\n" +
+		"var wg sync.WaitGroup\n\n" +
+		"func t0() {\n\tdefer wg.Done()\n\tx = 1\n\tr0 = y\n}\n\n" +
+		"func t1() {\n\tdefer wg.Done()\n\ty = 1\n\tr1 = x\n}\n\n" +
+		"func main() {\n\twg.Add(2)\n\tgo t0()\n\tgo t1()\n\twg.Wait()\n}\n"
+}
+
+// TestGoSourceSubmission pins the go_source request variant: the frontend
+// lowers the submission, the job certifies it, and byte-different sources
+// with identical lowerings single-flight onto one job — the coalescing
+// key is the lowered IR's baseline key, not the source text.
+func TestGoSourceSubmission(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, MaxStatesCap: 1 << 26})
+
+	blocker := startBlocker(t, m)
+
+	a, coalesced, err := m.Submit(&Request{GoSource: goSourceSB("first copy"), Strategy: "pensieve"})
+	if err != nil {
+		t.Fatalf("go_source submit: %v", err)
+	}
+	if coalesced {
+		t.Error("first go_source submission unexpectedly coalesced")
+	}
+	b, coalesced, err := m.Submit(&Request{GoSource: goSourceSB("second copy, different bytes"), Strategy: "pensieve"})
+	if err != nil {
+		t.Fatalf("second go_source submit: %v", err)
+	}
+	if !coalesced {
+		t.Error("byte-different source with identical lowering did not coalesce")
+	}
+	if a.Job() != b.Job() {
+		t.Fatalf("submissions landed on jobs %s and %s, want one shared job", a.Job().ID(), b.Job().ID())
+	}
+
+	blocker.Release()
+	select {
+	case <-a.Job().Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("go_source job never finished")
+	}
+	rep, err := a.Job().Result()
+	if err != nil {
+		t.Fatalf("go_source job failed: %v", err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Program != "sb" {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	if st := rep.Rows[0].Variants[0].Cert.Status; st != corpus.CertCertified {
+		t.Errorf("sb/Pensieve certification = %q, want %q (full fences restore SC)", st, corpus.CertCertified)
+	}
+}
+
 // TestCancelledWaiterKeepsSharedJob pins the coalescing cancellation rule:
 // releasing one of two coalesced claims must not cancel the shared job —
 // the surviving waiter still gets its verdict.
@@ -372,9 +429,12 @@ func TestValidation(t *testing.T) {
 	}{
 		{Request{}, "exactly one of"},
 		{Request{Corpus: "dekker", Program: "func main() {}"}, "exactly one of"},
+		{Request{Corpus: "dekker", GoSource: "package p"}, "exactly one of"},
+		{Request{Program: "program p", GoSource: "package p"}, "exactly one of"},
 		{Request{Corpus: "no-such-program"}, "unknown corpus program"},
 		{Request{Corpus: "dekker", Strategy: "bogus"}, "unknown strategy"},
 		{Request{Program: "not ir at all"}, "program:"},
+		{Request{GoSource: "package p\n\nvar ch chan int64\n"}, "go_source:"},
 	}
 	for _, tc := range cases {
 		_, _, err := m.Submit(&tc.req)

@@ -1,0 +1,46 @@
+// Dekker's mutual-exclusion algorithm, written in the frontend's Go
+// subset. Differential twin of internal/progs "dekker" (Threads=2,
+// Size=2): same globals in the same order, same per-iteration
+// shared-memory access sequence, same final assertion.
+package dekker
+
+import "sync"
+
+var (
+	flag [2]int64
+	turn int64
+	ctr  int64
+)
+
+var wg sync.WaitGroup
+
+const size = 2
+
+func worker(me int64) {
+	defer wg.Done()
+	other := 1 - me
+	for i := int64(0); i < size; i++ {
+		flag[me] = 1
+		for flag[other] == 1 {
+			if turn != me {
+				flag[me] = 0
+				for turn != me {
+				}
+				flag[me] = 1
+			}
+		}
+		ctr = ctr + 1
+		turn = other
+		flag[me] = 0
+	}
+}
+
+func main() {
+	wg.Add(2)
+	go worker(0)
+	go worker(1)
+	wg.Wait()
+	if ctr != 2*size {
+		panic("dekker: no lost increments in the critical section")
+	}
+}

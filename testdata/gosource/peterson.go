@@ -1,0 +1,41 @@
+// Peterson's mutual-exclusion algorithm, written in the frontend's Go
+// subset. Differential twin of internal/progs "peterson" (Threads=2,
+// Size=2). The spin condition uses Go's short-circuit && where the
+// hand-built original evaluates both operands eagerly; both operands are
+// loads, so the outcome sets are identical.
+package peterson
+
+import "sync"
+
+var (
+	flag [2]int64
+	turn int64
+	ctr  int64
+)
+
+var wg sync.WaitGroup
+
+const size = 2
+
+func worker(me int64) {
+	defer wg.Done()
+	other := 1 - me
+	for i := int64(0); i < size; i++ {
+		flag[me] = 1
+		turn = other
+		for flag[other] == 1 && turn == other {
+		}
+		ctr = ctr + 1
+		flag[me] = 0
+	}
+}
+
+func main() {
+	wg.Add(2)
+	go worker(0)
+	go worker(1)
+	wg.Wait()
+	if ctr != 2*size {
+		panic("peterson: no lost increments in the critical section")
+	}
+}

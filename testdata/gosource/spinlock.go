@@ -1,0 +1,38 @@
+// A test-and-set spinlock protecting a counter, written in the
+// frontend's Go subset. Differential twin of internal/progs "spinlock"
+// (Threads=2, Size=2).
+package spinlock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	lock int64
+	ctr  int64
+)
+
+var wg sync.WaitGroup
+
+const size = 2
+
+func worker(me int64) {
+	defer wg.Done()
+	for i := int64(0); i < size; i++ {
+		for !atomic.CompareAndSwapInt64(&lock, 0, 1) {
+		}
+		ctr = ctr + 1
+		atomic.StoreInt64(&lock, 0)
+	}
+}
+
+func main() {
+	wg.Add(2)
+	go worker(0)
+	go worker(1)
+	wg.Wait()
+	if ctr != 2*size {
+		panic("spinlock: no lost increments in the critical section")
+	}
+}

@@ -1,0 +1,53 @@
+// A two-thread Treiber stack exercise, written in the frontend's Go
+// subset. Differential twin of internal/progs "treiber" (Threads=2,
+// Size=1): each worker pushes its id (me+1, so 0 stays the empty-stack
+// sentinel) and then pops once; main checks the popped ids form a
+// permutation of the pushed ones.
+package treiber
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	top    int64
+	next   [3]int64
+	popped [2]int64
+)
+
+var wg sync.WaitGroup
+
+func worker(me int64) {
+	defer wg.Done()
+	id := me + 1
+	for {
+		old := atomic.LoadInt64(&top)
+		next[id] = old
+		if atomic.CompareAndSwapInt64(&top, old, id) {
+			break
+		}
+	}
+	for {
+		old := atomic.LoadInt64(&top)
+		if old == 0 {
+			popped[me] = -1
+			break
+		}
+		nxt := next[old]
+		if atomic.CompareAndSwapInt64(&top, old, nxt) {
+			popped[me] = old
+			break
+		}
+	}
+}
+
+func main() {
+	wg.Add(2)
+	go worker(0)
+	go worker(1)
+	wg.Wait()
+	if popped[0]+popped[1] != 3 {
+		panic("treiber: popped ids are a permutation of the pushed ids")
+	}
+}
